@@ -1,0 +1,169 @@
+package nymix
+
+// One testing.B benchmark per evaluation result (Figures 3-7, Table 1,
+// the section 5.1 validation, and the ablations). Each iteration
+// regenerates the full experiment from a fresh seed; custom metrics
+// report the experiment's headline numbers so `go test -bench` output
+// doubles as a results table.
+
+import (
+	"testing"
+
+	"nymix/internal/experiments"
+)
+
+func BenchmarkFigure3(b *testing.B) {
+	var slope, saving float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure3(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		slope = (rows[7].UsedAfterMB - rows[0].UsedAfterMB) / 7
+		saving = rows[7].SavedMB
+	}
+	b.ReportMetric(slope, "MB/nymbox")
+	b.ReportMetric(saving, "MB-ksm-saved@8")
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	var overhead, smtGain float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure4(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = 100 * (1 - rows[1].Accumulated/rows[0].Accumulated)
+		smtGain = 100 * (rows[8].Accumulated/rows[8].Expected - 1)
+	}
+	b.ReportMetric(overhead, "%virt-overhead")
+	b.ReportMetric(smtGain, "%smt-gain@8")
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	var single, eight, torOverhead float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure5(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		single = rows[0].ActualSec
+		eight = rows[7].ActualSec
+		torOverhead = 100 * experiments.TorFixedOverhead(rows)
+	}
+	b.ReportMetric(single, "s-download@1")
+	b.ReportMetric(eight, "s-download@8")
+	b.ReportMetric(torOverhead, "%tor-overhead")
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	var fbFinal, anonShare float64
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Figure6(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			if s.Site == "facebook.com" {
+				fbFinal = s.SizesMB[len(s.SizesMB)-1]
+				anonShare = 100 * s.AnonShare
+			}
+		}
+	}
+	b.ReportMetric(fbFinal, "MB-facebook@10")
+	b.ReportMetric(anonShare, "%anonvm-share")
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	var fresh, preTor float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure7(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Config {
+			case "fresh":
+				fresh = r.Total().Seconds()
+			case "pre-configured":
+				preTor = r.StartTor.Seconds()
+			}
+		}
+	}
+	b.ReportMetric(fresh, "s-fresh-total")
+	b.ReportMetric(preTor, "s-warm-tor-start")
+}
+
+func BenchmarkTable1(b *testing.B) {
+	var vistaRepair, win8Size float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Version {
+			case "Windows Vista":
+				vistaRepair = r.RepairS
+			case "Windows 8":
+				win8Size = r.SizeMB
+			}
+		}
+	}
+	b.ReportMetric(vistaRepair, "s-vista-repair")
+	b.ReportMetric(win8Size, "MB-win8-cow")
+}
+
+func BenchmarkValidation(b *testing.B) {
+	passed := 0.0
+	for i := 0; i < b.N; i++ {
+		report, err := experiments.Validation(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Passed() {
+			passed = 1
+		} else {
+			passed = 0
+		}
+	}
+	b.ReportMetric(passed, "passed")
+}
+
+func BenchmarkAblationGuardExposure(b *testing.B) {
+	var rot30 float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationGuardExposure(uint64(i+1), 0.05)
+		for _, r := range rows {
+			if r.Sessions == 30 {
+				rot30 = r.Rotating
+			}
+		}
+	}
+	b.ReportMetric(rot30, "p-exposed@30-sessions")
+}
+
+func BenchmarkAblationStaining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationStaining(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLinkage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationLinkage(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBuddies(b *testing.B) {
+	var gatedFinal float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationBuddies(uint64(i+1), 4, 12)
+		gatedFinal = float64(rows[len(rows)-1].GatedCandidates)
+	}
+	b.ReportMetric(gatedFinal, "gated-set@12-rounds")
+}

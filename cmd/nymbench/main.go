@@ -1,0 +1,134 @@
+// Command nymbench regenerates every table and figure from the
+// paper's evaluation (section 5), plus the section 5.1 validation and
+// the design ablations.
+//
+// Usage:
+//
+//	nymbench [-seed N] [-run all|fig3|fig4|fig5|fig6|fig7|table1|validation|ablations|summary]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nymix/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, summary")
+	flag.Parse()
+
+	runners := map[string]func(uint64) (string, error){
+		"fig3": func(s uint64) (string, error) {
+			rows, err := experiments.Figure3(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderFigure3(rows), nil
+		},
+		"fig4": func(s uint64) (string, error) {
+			rows, err := experiments.Figure4(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderFigure4(rows), nil
+		},
+		"fig5": func(s uint64) (string, error) {
+			rows, err := experiments.Figure5(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderFigure5(rows), nil
+		},
+		"fig6": func(s uint64) (string, error) {
+			series, err := experiments.Figure6(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderFigure6(series), nil
+		},
+		"fig7": func(s uint64) (string, error) {
+			rows, err := experiments.Figure7(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderFigure7(rows), nil
+		},
+		"table1": func(s uint64) (string, error) {
+			rows, err := experiments.Table1(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTable1(rows), nil
+		},
+		"validation": func(s uint64) (string, error) {
+			report, err := experiments.Validation(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderValidation(report), nil
+		},
+		"ablations": func(s uint64) (string, error) {
+			out := experiments.RenderGuardExposure(experiments.AblationGuardExposure(s, 0.05), 0.05)
+			stains, err := experiments.AblationStaining(s)
+			if err != nil {
+				return "", err
+			}
+			out += "\n" + experiments.RenderStaining(stains)
+			linkage, err := experiments.AblationLinkage(s)
+			if err != nil {
+				return "", err
+			}
+			out += "\n" + experiments.RenderLinkage(linkage)
+			out += "\n" + experiments.RenderBuddies(experiments.AblationBuddies(s, 4, 12), 4)
+			return out, nil
+		},
+		"summary": func(s uint64) (string, error) {
+			return summary(s)
+		},
+	}
+
+	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "summary"}
+	var selected []string
+	if *run == "all" {
+		selected = order
+	} else if _, ok := runners[*run]; ok {
+		selected = []string{*run}
+	} else {
+		fmt.Fprintf(os.Stderr, "nymbench: unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+	for _, name := range selected {
+		out, err := runners[name](*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nymbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}
+
+// summary reproduces the abstract's headline numbers from the
+// underlying experiments.
+func summary(seed uint64) (string, error) {
+	f3, err := experiments.Figure3(seed)
+	if err != nil {
+		return "", err
+	}
+	slope := (f3[len(f3)-1].UsedAfterMB - f3[0].UsedAfterMB) / float64(len(f3)-1)
+	f7, err := experiments.Figure7(seed)
+	if err != nil {
+		return "", err
+	}
+	var freshTotal float64
+	for _, r := range f7 {
+		if r.Config == "fresh" {
+			freshTotal = r.Total().Seconds()
+		}
+	}
+	return fmt.Sprintf(
+		"# Abstract claims\nper-nymbox memory: %.0f MB (paper: ~600 MB)\nfresh nymbox load: %.1f s (paper: 15-25 s)\n",
+		slope, freshTotal), nil
+}

@@ -1,0 +1,173 @@
+// Command nymixctl drives a simulated Nymix session from the command
+// line, mirroring the Nym Manager workflow of paper section 3.5:
+// start a fresh nym, browse, store it encrypted to the cloud, load it
+// back, move a sanitized file in from the installed OS, and tear
+// everything down with a validation report.
+//
+// Because the whole system is a deterministic simulation, nymixctl
+// runs a scripted session (the "demo") rather than an interactive
+// shell; every step prints what the Nym Manager UI would show.
+//
+// Usage:
+//
+//	nymixctl [-seed N] [-anonymizer tor|dissent|incognito|sweet|tor-bridge] demo
+//	nymixctl scrub <file.jpg>   # run the SaniVM scrubbing suite on a real file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nymix/internal/core"
+	"nymix/internal/hypervisor"
+	"nymix/internal/installedos"
+	"nymix/internal/sanitize"
+	"nymix/internal/sim"
+	"nymix/internal/webworld"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	anonymizer := flag.String("anonymizer", "tor", "anonymizer for the demo nym: tor, dissent, incognito, sweet, tor-bridge")
+	flag.Parse()
+
+	switch flag.Arg(0) {
+	case "demo", "":
+		if err := demo(*seed, *anonymizer); err != nil {
+			fmt.Fprintf(os.Stderr, "nymixctl: %v\n", err)
+			os.Exit(1)
+		}
+	case "scrub":
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "nymixctl scrub: need a file path")
+			os.Exit(2)
+		}
+		if err := scrubFile(flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "nymixctl: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "nymixctl: unknown command %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+}
+
+// scrubFile runs the sanitize suite against a real on-disk file.
+func scrubFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("analyzing %s (%d bytes)\n", path, len(data))
+	for _, r := range sanitize.Analyze(path, data) {
+		fmt.Println("  ", r)
+	}
+	res, err := sanitize.Scrub(path, data, sanitize.AllOptions)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("applied: %v\n", res.Applied)
+	out := path + ".scrubbed"
+	if err := os.WriteFile(out, res.Data, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes); residual risks: %d\n", out, len(res.Data), len(res.Residual))
+	for _, r := range res.Residual {
+		fmt.Println("  ", r)
+	}
+	return nil
+}
+
+// demo runs the full scripted session.
+func demo(seed uint64, anonymizer string) error {
+	eng := sim.NewEngine(seed)
+	_, world := webworld.BuildDefault(eng)
+	mgr, err := core.NewManager(eng, world, hypervisor.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	say := func(format string, args ...interface{}) {
+		fmt.Printf("[t=%8.1fs] "+format+"\n", append([]interface{}{eng.Now().Seconds()}, args...)...)
+	}
+	var demoErr error
+	eng.Go("demo", func(p *sim.Proc) {
+		dest := core.StoreDest{Provider: "dropbin", Account: "anon-9134", AccountPassword: "cloud-pw"}
+
+		say("nymix booted; starting a fresh %s nym", anonymizer)
+		nym, err := mgr.StartNym(p, "demo", core.Options{Model: core.ModelPersistent, Anonymizer: anonymizer})
+		if err != nil {
+			demoErr = err
+			return
+		}
+		ph := nym.Phases()
+		say("nymbox up: boot %.1fs, %s start %.1fs", ph.BootVM.Seconds(), anonymizer, ph.StartAnon.Seconds())
+
+		if _, err := nym.Browser().Login(p, "twitter.com", "pseudonym-47", "tw-pw"); err != nil {
+			demoErr = err
+			return
+		}
+		say("logged in to twitter.com as pseudonym-47 (exit identity: %s)", nym.Anonymizer().ExitIdentity())
+		if _, err := nym.Browser().Post(p, "twitter.com", "hello from a nymbox"); err != nil {
+			demoErr = err
+			return
+		}
+		say("posted; server-side cookie bound to this nym only")
+
+		// Sanitized transfer from the installed OS.
+		photo := sanitize.MakeJPEG(sanitize.EXIFMeta{
+			Make: "SmartPhoneCo", Model: "SP-7", Serial: "SN-0042",
+			GPSLat: "41.2995N", GPSLon: "69.2401E",
+		}, []byte("protest-photo-pixels"))
+		installed, err := installedos.NewImage(installedos.Windows7, map[string][]byte{
+			"/users/me/photos/protest.jpg": photo,
+		})
+		if err != nil {
+			demoErr = err
+			return
+		}
+		report, err := mgr.TransferFile(p, installed, "/users/me/photos/protest.jpg", nym, sanitize.AllOptions)
+		if err != nil {
+			demoErr = err
+			return
+		}
+		say("SaniVM transfer: %d risk(s) found, applied %v, residual %d",
+			len(report.RisksFound), report.Applied, len(report.Residual))
+		if _, err := nym.Browser().Upload(p, "twitter.com", []byte("scrubbed")); err != nil {
+			demoErr = err
+			return
+		}
+		say("uploaded the scrubbed photo")
+
+		size, err := mgr.StoreNym(p, nym, "nym-password", dest)
+		if err != nil {
+			demoErr = err
+			return
+		}
+		say("nym stored to %s: %.1f MB encrypted", dest.Provider, float64(size)/(1<<20))
+		if err := mgr.TerminateNym(p, nym); err != nil {
+			demoErr = err
+			return
+		}
+		say("nym terminated: memory wiped, host holds %d nyms", mgr.RunningNyms())
+
+		restored, err := mgr.LoadNym(p, "demo", "nym-password", core.Options{Model: core.ModelPersistent, Anonymizer: anonymizer}, dest)
+		if err != nil {
+			demoErr = err
+			return
+		}
+		say("nym restored from the cloud (ephemeral loader took %.1fs)", restored.Phases().EphemeralNym.Seconds())
+		if _, err := restored.Browser().LoginSaved(p, "twitter.com"); err != nil {
+			demoErr = err
+			return
+		}
+		say("signed back in with stored credentials — no retyping, no habit to slip on")
+		if err := mgr.TerminateNym(p, restored); err != nil {
+			demoErr = err
+			return
+		}
+		say("session over; local media carries no nym state")
+	})
+	eng.Run()
+	return demoErr
+}

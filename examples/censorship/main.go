@@ -1,0 +1,77 @@
+// Censorship: Tyrannistan's ISP starts blocking Tor outright (deep
+// packet inspection at the gateway). A plain Tor nym can no longer
+// bootstrap — and Nymix's pluggable CommVM model (paper section 3.3)
+// is exactly the answer: the same nymbox architecture runs a
+// StegoTorus-camouflaged bridge (wire traffic looks like HTTPS,
+// section 4) or SWEET (web over email, section 4.1) without touching
+// anything else.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nymix/internal/core"
+	"nymix/internal/hypervisor"
+	"nymix/internal/sim"
+	"nymix/internal/vnet"
+	"nymix/internal/webworld"
+)
+
+func main() {
+	eng := sim.NewEngine(1984)
+	net, world := webworld.BuildDefault(eng)
+	mgr, err := core.NewManager(eng, world, hypervisor.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The state ISP deploys DPI at the gateway: anything classified as
+	// Tor is silently dropped.
+	world.Gateway().SetPolicy(func(in, out *vnet.Iface, proto string, dst *vnet.Node) bool {
+		return proto != "tor"
+	})
+	fmt.Println("ISP deploys DPI: protocol 'tor' is now dropped at the gateway")
+
+	eng.Go("bob", func(p *sim.Proc) {
+		// Plain Tor cannot even fetch the directory any more.
+		if _, err := mgr.StartNym(p, "plain-tor", core.Options{Anonymizer: "tor"}); err != nil {
+			fmt.Printf("plain tor nym: %v\n", err)
+		} else {
+			log.Fatal("plain tor should have been censored")
+		}
+
+		// Same nymbox, camouflaged transport: the wire shows HTTPS.
+		cap := mgr.Host().Uplink().Tap()
+		bridged, err := mgr.StartNym(p, "bridged", core.Options{Anonymizer: "tor-bridge"})
+		if err != nil {
+			log.Fatalf("bridged nym: %v", err)
+		}
+		if _, err := bridged.Visit(p, "twitter.com"); err != nil {
+			log.Fatalf("visit via bridge: %v", err)
+		}
+		fmt.Printf("bridged nym up: censor's capture shows protocols %v\n", cap.Protos())
+		fmt.Printf("bridged nym: twitter saw source %q (still a Tor exit)\n",
+			bridged.Anonymizer().ExitIdentity())
+		if err := mgr.TerminateNym(p, bridged); err != nil {
+			log.Fatal(err)
+		}
+
+		// And if the censor whitelists only mail, SWEET still works.
+		sweet, err := mgr.StartNym(p, "mail-tunnel", core.Options{Anonymizer: "sweet"})
+		if err != nil {
+			log.Fatalf("sweet nym: %v", err)
+		}
+		res, err := sweet.Visit(p, "bbc.co.uk")
+		if err != nil {
+			log.Fatalf("visit via sweet: %v", err)
+		}
+		fmt.Printf("sweet nym: fetched bbc.co.uk in %.0fs over email (slow, but uncensorable)\n",
+			res.Elapsed.Seconds())
+		if err := mgr.TerminateNym(p, sweet); err != nil {
+			log.Fatal(err)
+		}
+	})
+	eng.Run()
+	_ = net
+}

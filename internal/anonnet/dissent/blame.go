@@ -1,0 +1,149 @@
+package dissent
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+)
+
+// Accountability. Dissent's defining property over plain DC-nets is
+// that disruption is traceable: "Dissent" literally stands for
+// "dining-cryptographers shuffled-send network" with accountability.
+// In the anytrust model, every client's pads are derived from secrets
+// it shares with the servers, so the servers can jointly reconstruct
+// what an honest client's ciphertext *should* have been. A client who
+// jams another slot or equivocates on its commitment is identified
+// and expelled, instead of being able to deny service anonymously
+// forever.
+//
+// The protocol here is the simulation-sized version: clients commit
+// to their ciphertexts, the round is combined, and if the output is
+// corrupted the transcript is audited — pads are reconstructed per
+// client and any ciphertext that is not pads XOR own-slot-message
+// exposes its sender.
+
+// Commitment is a binding commitment to a client's round ciphertext.
+type Commitment [sha256.Size]byte
+
+// Commit produces the ciphertext commitment a client publishes before
+// the round output is revealed.
+func Commit(ciphertext []byte) Commitment {
+	return sha256.Sum256(ciphertext)
+}
+
+// Transcript is everything the blame protocol needs: the round
+// parameters plus each client's published commitment and the
+// ciphertext it subsequently submitted.
+type Transcript struct {
+	Sched       *Schedule
+	Servers     []string
+	Round       uint64
+	Ciphertexts map[string][]byte
+	Commitments map[string]Commitment
+}
+
+// NewTranscript records a round.
+func NewTranscript(sched *Schedule, servers []string, round uint64) *Transcript {
+	return &Transcript{
+		Sched:       sched,
+		Servers:     servers,
+		Round:       round,
+		Ciphertexts: make(map[string][]byte),
+		Commitments: make(map[string]Commitment),
+	}
+}
+
+// Submit records a client's commitment and ciphertext.
+func (tr *Transcript) Submit(client string, ciphertext []byte) {
+	ct := append([]byte(nil), ciphertext...)
+	tr.Ciphertexts[client] = ct
+	tr.Commitments[client] = Commit(ct)
+}
+
+// expectedCiphertext reconstructs what an honest client's ciphertext
+// must be, given its declared message (nil for a silent round).
+func (tr *Transcript) expectedCiphertext(client string, declared []byte) ([]byte, error) {
+	return ClientCiphertext(tr.Sched, tr.Servers, client, tr.Round, declared)
+}
+
+// Verdict is the blame protocol's outcome for one client.
+type Verdict struct {
+	Client string
+	Reason string
+}
+
+// Blame audits a round: declared maps each client to the message it
+// claims to have sent (absent = silent). It returns the misbehaving
+// clients — those whose ciphertext does not match their commitment
+// (equivocation) or does not equal pads XOR declared message
+// (disruption: jamming another slot, flipping bits, or lying about
+// its own message).
+func Blame(tr *Transcript, declared map[string][]byte) ([]Verdict, error) {
+	var verdicts []Verdict
+	clients := make([]string, 0, len(tr.Ciphertexts))
+	for c := range tr.Ciphertexts {
+		clients = append(clients, c)
+	}
+	sort.Strings(clients)
+	for _, client := range clients {
+		ct := tr.Ciphertexts[client]
+		if Commit(ct) != tr.Commitments[client] {
+			verdicts = append(verdicts, Verdict{Client: client, Reason: "commitment equivocation"})
+			continue
+		}
+		want, err := tr.expectedCiphertext(client, declared[client])
+		if err != nil {
+			return nil, fmt.Errorf("dissent: blame reconstruction for %q: %w", client, err)
+		}
+		if !bytes.Equal(ct, want) {
+			verdicts = append(verdicts, Verdict{Client: client, Reason: "ciphertext deviates from pads"})
+		}
+	}
+	return verdicts, nil
+}
+
+// AuditRound is the full accountable round: run it, and if the
+// combined output disagrees with the declared messages, blame. It
+// returns the revealed slots and any verdicts.
+func AuditRound(tr *Transcript, declared map[string][]byte) ([][]byte, []Verdict, error) {
+	var cts [][]byte
+	clients := make([]string, 0, len(tr.Ciphertexts))
+	for c := range tr.Ciphertexts {
+		clients = append(clients, c)
+	}
+	sort.Strings(clients)
+	for _, c := range clients {
+		cts = append(cts, tr.Ciphertexts[c])
+	}
+	var shares [][]byte
+	for _, srv := range tr.Servers {
+		shares = append(shares, ServerShare(tr.Sched, srv, tr.Round))
+	}
+	combined, err := CombineRound(cts, shares)
+	if err != nil {
+		return nil, nil, err
+	}
+	slots := make([][]byte, len(tr.Sched.Clients))
+	corrupted := false
+	for i, cl := range tr.Sched.Clients {
+		slots[i] = combined[i*tr.Sched.SlotLen : (i+1)*tr.Sched.SlotLen]
+		want := declared[cl]
+		if !bytes.Equal(slots[i][:len(want)], want) {
+			corrupted = true
+		}
+		for _, b := range slots[i][len(want):] {
+			if b != 0 {
+				corrupted = true
+			}
+		}
+	}
+	if !corrupted {
+		return slots, nil, nil
+	}
+	verdicts, err := Blame(tr, declared)
+	if err != nil {
+		return nil, nil, err
+	}
+	return slots, verdicts, nil
+}

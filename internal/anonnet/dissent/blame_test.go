@@ -1,0 +1,174 @@
+package dissent
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// honestTranscript builds a round where every client behaves,
+// returning the transcript and the declared messages.
+func honestTranscript(t *testing.T, nClients int, msgs map[string][]byte) (*Transcript, map[string][]byte) {
+	t.Helper()
+	sched := testSchedule(nClients)
+	tr := NewTranscript(sched, testServers, 5)
+	declared := map[string][]byte{}
+	for _, cl := range sched.Clients {
+		ct, err := ClientCiphertext(sched, testServers, cl, 5, msgs[cl])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Submit(cl, ct)
+		if m, ok := msgs[cl]; ok {
+			declared[cl] = m
+		}
+	}
+	return tr, declared
+}
+
+func TestHonestRoundNoBlame(t *testing.T) {
+	msgs := map[string][]byte{"client-b": []byte("legit message")}
+	tr, declared := honestTranscript(t, 4, msgs)
+	slots, verdicts, err := AuditRound(tr, declared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 0 {
+		t.Fatalf("honest round blamed: %v", verdicts)
+	}
+	if !bytes.Equal(slots[1][:len(msgs["client-b"])], msgs["client-b"]) {
+		t.Fatal("message not recovered")
+	}
+}
+
+func TestJammerBlamed(t *testing.T) {
+	// client-c jams client-b's slot by XORing garbage into it.
+	msgs := map[string][]byte{"client-b": []byte("protest info")}
+	sched := testSchedule(4)
+	tr := NewTranscript(sched, testServers, 5)
+	declared := map[string][]byte{"client-b": msgs["client-b"]}
+	for _, cl := range sched.Clients {
+		ct, _ := ClientCiphertext(sched, testServers, cl, 5, msgs[cl])
+		if cl == "client-c" {
+			// Jam slot 1 (client-b's).
+			for i := 0; i < sched.SlotLen; i++ {
+				ct[sched.SlotLen+i] ^= 0xAA
+			}
+		}
+		tr.Submit(cl, ct)
+	}
+	slots, verdicts, err := AuditRound(tr, declared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(slots[1][:len(msgs["client-b"])], msgs["client-b"]) {
+		t.Fatal("jamming had no effect — test is vacuous")
+	}
+	if len(verdicts) != 1 || verdicts[0].Client != "client-c" {
+		t.Fatalf("verdicts = %v, want client-c", verdicts)
+	}
+	if verdicts[0].Reason != "ciphertext deviates from pads" {
+		t.Fatalf("reason = %q", verdicts[0].Reason)
+	}
+}
+
+func TestEquivocatorBlamed(t *testing.T) {
+	msgs := map[string][]byte{"client-a": []byte("m")}
+	tr, declared := honestTranscript(t, 3, msgs)
+	// client-b swaps its ciphertext after committing.
+	fake, _ := ClientCiphertext(tr.Sched, testServers, "client-b", 99, nil)
+	tr.Ciphertexts["client-b"] = fake
+	verdicts, err := Blame(tr, declared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range verdicts {
+		if v.Client == "client-b" && v.Reason == "commitment equivocation" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("verdicts = %v", verdicts)
+	}
+}
+
+func TestLiarBlamed(t *testing.T) {
+	// client-a sends one message but declares another: its own
+	// ciphertext won't match pads XOR declaration.
+	tr, _ := honestTranscript(t, 3, map[string][]byte{"client-a": []byte("actual")})
+	declared := map[string][]byte{"client-a": []byte("claimed")}
+	_, verdicts, err := AuditRound(tr, declared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 1 || verdicts[0].Client != "client-a" {
+		t.Fatalf("verdicts = %v", verdicts)
+	}
+}
+
+func TestSilentClientsNeverBlamed(t *testing.T) {
+	tr, declared := honestTranscript(t, 6, nil) // all silent
+	slots, verdicts, err := AuditRound(tr, declared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 0 {
+		t.Fatalf("silent round blamed: %v", verdicts)
+	}
+	for i, slot := range slots {
+		for _, b := range slot {
+			if b != 0 {
+				t.Fatalf("slot %d not silent", i)
+			}
+		}
+	}
+}
+
+// Property: exactly the set of deviating clients is blamed, never an
+// honest one.
+func TestPropertyBlameSoundAndComplete(t *testing.T) {
+	f := func(nClients uint8, jammerMask uint8, noise byte) bool {
+		n := int(nClients)%5 + 2
+		if noise == 0 {
+			noise = 0x5C
+		}
+		sched := testSchedule(n)
+		tr := NewTranscript(sched, testServers, 9)
+		declared := map[string][]byte{}
+		wantBlamed := map[string]bool{}
+		for i, cl := range sched.Clients {
+			msg := []byte{byte(i + 1)}
+			declared[cl] = msg
+			ct, err := ClientCiphertext(sched, testServers, cl, 9, msg)
+			if err != nil {
+				return false
+			}
+			if jammerMask&(1<<uint(i)) != 0 {
+				ct[(i*7)%len(ct)] ^= noise
+				wantBlamed[cl] = true
+			}
+			tr.Submit(cl, ct)
+		}
+		verdicts, err := Blame(tr, declared)
+		if err != nil {
+			return false
+		}
+		got := map[string]bool{}
+		for _, v := range verdicts {
+			got[v.Client] = true
+		}
+		if len(got) != len(wantBlamed) {
+			return false
+		}
+		for cl := range wantBlamed {
+			if !got[cl] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,328 @@
+package dissent
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nymix/internal/anonnet"
+	"nymix/internal/sim"
+	"nymix/internal/vnet"
+	"nymix/internal/webworld"
+)
+
+// --- DC-net core ---
+
+func testSchedule(n int) *Schedule {
+	clients := make([]string, n)
+	for i := range clients {
+		clients[i] = "client-" + string(rune('a'+i))
+	}
+	return &Schedule{Clients: clients, SlotLen: 64}
+}
+
+var testServers = []string{"srv-0", "srv-1", "srv-2"}
+
+func TestRoundRecoversSingleMessage(t *testing.T) {
+	sched := testSchedule(4)
+	msg := []byte("rendezvous at midnight")
+	slots, err := RunRound(sched, testServers, 1, map[string][]byte{"client-b": msg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := slots[1][:len(msg)]
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("slot = %q, want %q", got, msg)
+	}
+	// Other slots are all zero (no senders).
+	for i, slot := range slots {
+		if i == 1 {
+			continue
+		}
+		for _, b := range slot {
+			if b != 0 {
+				t.Fatalf("slot %d not silent", i)
+			}
+		}
+	}
+}
+
+func TestRoundRecoversAllSenders(t *testing.T) {
+	sched := testSchedule(3)
+	msgs := map[string][]byte{
+		"client-a": []byte("aaa"),
+		"client-b": []byte("bbbb"),
+		"client-c": []byte("c"),
+	}
+	slots, err := RunRound(sched, testServers, 7, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cl := range sched.Clients {
+		want := msgs[cl]
+		if !bytes.Equal(slots[i][:len(want)], want) {
+			t.Fatalf("slot %d = %q, want %q", i, slots[i][:len(want)], want)
+		}
+	}
+}
+
+func TestCiphertextsLookRandomIndividually(t *testing.T) {
+	// No single ciphertext (or strict subset missing a server share)
+	// reveals the message: unconditional sender anonymity.
+	sched := testSchedule(2)
+	msg := []byte("secret")
+	ct, err := ClientCiphertext(sched, testServers, "client-a", 3, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(ct, msg) {
+		t.Fatal("plaintext visible in single ciphertext")
+	}
+	// Combining without one server's share yields garbage, not the
+	// message.
+	ctB, _ := ClientCiphertext(sched, testServers, "client-b", 3, nil)
+	partialShares := [][]byte{
+		ServerShare(sched, testServers[0], 3),
+		ServerShare(sched, testServers[1], 3),
+		// srv-2 withheld
+	}
+	out, err := CombineRound([][]byte{ct, ctB}, partialShares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(out, msg) {
+		t.Fatal("message recovered without all server shares")
+	}
+}
+
+func TestDifferentRoundsDifferentPads(t *testing.T) {
+	sched := testSchedule(2)
+	ct1, _ := ClientCiphertext(sched, testServers, "client-a", 1, nil)
+	ct2, _ := ClientCiphertext(sched, testServers, "client-a", 2, nil)
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("pad reuse across rounds")
+	}
+}
+
+func TestCollisionCorruptsSlot(t *testing.T) {
+	// Two clients writing the same slot XOR together — the DC-net
+	// collision behaviour.
+	sched := &Schedule{Clients: []string{"a"}, SlotLen: 8}
+	msgs := map[string][]byte{"a": {0xFF, 0x0F}}
+	slots, err := RunRound(sched, testServers, 1, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manually add a colliding write from a non-slot-owner by XORing
+	// another message into the same slot region.
+	collide := []byte{0xF0, 0xF0}
+	for i := range collide {
+		slots[0][i] ^= collide[i]
+	}
+	if slots[0][0] != 0x0F || slots[0][1] != 0xFF {
+		t.Fatalf("collision algebra wrong: %x", slots[0][:2])
+	}
+}
+
+func TestOversizeMessageRejected(t *testing.T) {
+	sched := testSchedule(2)
+	_, err := ClientCiphertext(sched, testServers, "client-a", 1, make([]byte, 65))
+	if err == nil {
+		t.Fatal("oversize message accepted")
+	}
+}
+
+func TestUnknownClientRejected(t *testing.T) {
+	sched := testSchedule(2)
+	_, err := ClientCiphertext(sched, testServers, "stranger", 1, nil)
+	if err == nil {
+		t.Fatal("unknown client accepted")
+	}
+}
+
+func TestLengthMismatchDetected(t *testing.T) {
+	_, err := CombineRound([][]byte{make([]byte, 8), make([]byte, 9)}, nil)
+	if err != ErrLengthMismatch {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSharedSecretSymmetricDerivation(t *testing.T) {
+	// The same (client, server) pair always derives the same secret;
+	// distinct pairs derive distinct secrets.
+	s1 := SharedSecret("alice", "srv-0")
+	s2 := SharedSecret("alice", "srv-0")
+	if s1 != s2 {
+		t.Fatal("nondeterministic secret")
+	}
+	if SharedSecret("alice", "srv-1") == s1 {
+		t.Fatal("secret collision across servers")
+	}
+	if SharedSecret("bob", "srv-0") == s1 {
+		t.Fatal("secret collision across clients")
+	}
+}
+
+// Property: for any set of senders and messages, every slot reveals
+// exactly its owner's message.
+func TestPropertyRoundCorrectness(t *testing.T) {
+	f := func(nClients, nServers uint8, round uint64, raw []byte) bool {
+		nc := int(nClients)%6 + 2
+		ns := int(nServers)%4 + 1
+		sched := testSchedule(nc)
+		servers := make([]string, ns)
+		for i := range servers {
+			servers[i] = "srv-" + string(rune('0'+i))
+		}
+		msgs := map[string][]byte{}
+		for i, cl := range sched.Clients {
+			if i < len(raw) && raw[i]%2 == 0 {
+				end := i * 8
+				if end > len(raw) {
+					end = len(raw)
+				}
+				m := raw[:end]
+				if len(m) > sched.SlotLen {
+					m = m[:sched.SlotLen]
+				}
+				msgs[cl] = m
+			}
+		}
+		slots, err := RunRound(sched, servers, round, msgs)
+		if err != nil {
+			return false
+		}
+		for i, cl := range sched.Clients {
+			want := msgs[cl]
+			if !bytes.Equal(slots[i][:len(want)], want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- network client ---
+
+type rig struct {
+	eng   *sim.Engine
+	net   *vnet.Network
+	world *webworld.World
+}
+
+func newRig() *rig {
+	eng := sim.NewEngine(17)
+	net, world := webworld.BuildDefault(eng)
+	comm := net.AddNode("commvm")
+	net.Connect(comm, world.Gateway(), webworld.UplinkConfig)
+	return &rig{eng: eng, net: net, world: world}
+}
+
+func TestClientStartAndFetch(t *testing.T) {
+	r := newRig()
+	c := New(r.net, "commvm", r.world.DissentServers(), 16, r.world.Resolver())
+	site, _ := r.world.Lookup("twitter.com")
+	var res anonnet.FetchResult
+	var err error
+	r.eng.Go("run", func(p *sim.Proc) {
+		if err = c.Start(p); err != nil {
+			return
+		}
+		res, err = c.Fetch(p, anonnet.Request{SiteNode: site, SendBytes: 1024, RecvBytes: 1 << 20})
+	})
+	r.eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Ready() {
+		t.Fatal("not ready")
+	}
+	if res.Received != 1<<20 {
+		t.Fatalf("received = %d", res.Received)
+	}
+	if c.Rounds() < 5 {
+		t.Fatalf("rounds = %d, want several for a 1 MiB fetch", c.Rounds())
+	}
+}
+
+func TestDissentSlowerThanDirect(t *testing.T) {
+	// Round-trip amplification makes Dissent much slower than a direct
+	// transfer of the same size.
+	r := newRig()
+	c := New(r.net, "commvm", r.world.DissentServers(), 16, r.world.Resolver())
+	site, _ := r.world.Lookup("twitter.com")
+	var dissentDur time.Duration
+	r.eng.Go("run", func(p *sim.Proc) {
+		c.Start(p)
+		res, err := c.Fetch(p, anonnet.Request{SiteNode: site, RecvBytes: 2 << 20})
+		if err != nil {
+			t.Errorf("fetch: %v", err)
+			return
+		}
+		dissentDur = res.Elapsed
+	})
+	r.eng.Run()
+	direct := r.net.StartTransfer(vnet.TransferOpts{From: site, To: "commvm", Bytes: 2 << 20, Proto: "x"})
+	r.eng.Run()
+	dres, _ := direct.Value()
+	if dissentDur < 2*dres.Duration() {
+		t.Fatalf("dissent %v not meaningfully slower than direct %v", dissentDur, dres.Duration())
+	}
+}
+
+func TestExitIdentityIsServer(t *testing.T) {
+	r := newRig()
+	c := New(r.net, "commvm", r.world.DissentServers(), 8, r.world.Resolver())
+	if c.ExitIdentity() != r.world.DissentServers()[0] {
+		t.Fatalf("exit = %q", c.ExitIdentity())
+	}
+}
+
+func TestStateRoundTripSkipsKeyExchange(t *testing.T) {
+	r := newRig()
+	a := New(r.net, "commvm", r.world.DissentServers(), 24, r.world.Resolver())
+	r.eng.Go("a", func(p *sim.Proc) { a.Start(p) })
+	r.eng.Run()
+	b := New(r.net, "commvm", r.world.DissentServers(), 2, r.world.Resolver())
+	b.ImportState(a.ExportState())
+	if !b.keysUp {
+		t.Fatal("keys not restored")
+	}
+	if b.Members() != 24 {
+		t.Fatalf("members = %d", b.Members())
+	}
+}
+
+func TestNoServersFails(t *testing.T) {
+	r := newRig()
+	c := New(r.net, "commvm", nil, 8, r.world.Resolver())
+	var err error
+	r.eng.Go("run", func(p *sim.Proc) { err = c.Start(p) })
+	r.eng.Run()
+	if err == nil {
+		t.Fatal("start with no servers succeeded")
+	}
+}
+
+func TestResolveViaRound(t *testing.T) {
+	r := newRig()
+	c := New(r.net, "commvm", r.world.DissentServers(), 8, r.world.Resolver())
+	var node string
+	var err error
+	r.eng.Go("run", func(p *sim.Proc) {
+		c.Start(p)
+		node, err = c.Resolve(p, "gmail.com")
+	})
+	r.eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := r.world.Lookup("gmail.com")
+	if node != want {
+		t.Fatalf("resolved %q", node)
+	}
+}

@@ -1,0 +1,129 @@
+package incognito
+
+import (
+	"testing"
+	"time"
+
+	"nymix/internal/anonnet"
+	"nymix/internal/sim"
+	"nymix/internal/vnet"
+	"nymix/internal/webworld"
+)
+
+type rig struct {
+	eng   *sim.Engine
+	net   *vnet.Network
+	world *webworld.World
+}
+
+func newRig() *rig {
+	eng := sim.NewEngine(23)
+	net, world := webworld.BuildDefault(eng)
+	comm := net.AddNode("commvm")
+	net.Connect(comm, world.Gateway(), webworld.UplinkConfig)
+	return &rig{eng: eng, net: net, world: world}
+}
+
+func (r *rig) relay() *Relay {
+	return New(r.net, "commvm", "host", r.world.ISPDNS().Name(), r.world.Resolver())
+}
+
+func TestStartIsFast(t *testing.T) {
+	r := newRig()
+	rel := r.relay()
+	var dur time.Duration
+	r.eng.Go("start", func(p *sim.Proc) {
+		start := p.Now()
+		if err := rel.Start(p); err != nil {
+			t.Errorf("start: %v", err)
+		}
+		dur = p.Now() - start
+	})
+	r.eng.Run()
+	if !rel.Ready() {
+		t.Fatal("not ready")
+	}
+	if dur > time.Second {
+		t.Fatalf("incognito start took %v, should be sub-second", dur)
+	}
+}
+
+func TestFetchDirect(t *testing.T) {
+	r := newRig()
+	rel := r.relay()
+	site, _ := r.world.Lookup("bbc.co.uk")
+	var res anonnet.FetchResult
+	var err error
+	r.eng.Go("run", func(p *sim.Proc) {
+		rel.Start(p)
+		res, err = rel.Fetch(p, anonnet.Request{SiteNode: site, SendBytes: 512, RecvBytes: 1 << 20})
+	})
+	r.eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~1 MiB over 1.25 MB/s with 2% overhead: under 1.5 seconds.
+	if res.Elapsed > 1500*time.Millisecond {
+		t.Fatalf("fetch took %v", res.Elapsed)
+	}
+}
+
+func TestExitIdentityIsHost(t *testing.T) {
+	// No network anonymity: servers see the user's NAT address.
+	r := newRig()
+	rel := r.relay()
+	if rel.ExitIdentity() != "host" {
+		t.Fatalf("exit = %q", rel.ExitIdentity())
+	}
+}
+
+func TestDNSLeaksToISPResolver(t *testing.T) {
+	r := newRig()
+	rel := r.relay()
+	var node string
+	var err error
+	r.eng.Go("run", func(p *sim.Proc) {
+		rel.Start(p)
+		node, err = rel.Resolve(p, "facebook.com")
+	})
+	r.eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := r.world.Lookup("facebook.com")
+	if node != want {
+		t.Fatalf("resolved %q", node)
+	}
+	if len(rel.DNSQueries) != 1 || rel.DNSQueries[0] != "facebook.com" {
+		t.Fatalf("ISP resolver log = %v, want the leaked query", rel.DNSQueries)
+	}
+}
+
+func TestNotReadyErrors(t *testing.T) {
+	r := newRig()
+	rel := r.relay()
+	var ferr, rerr error
+	r.eng.Go("run", func(p *sim.Proc) {
+		_, ferr = rel.Fetch(p, anonnet.Request{SiteNode: "x"})
+		_, rerr = rel.Resolve(p, "x")
+	})
+	r.eng.Run()
+	if ferr != anonnet.ErrNotReady || rerr != anonnet.ErrNotReady {
+		t.Fatalf("errs = %v, %v", ferr, rerr)
+	}
+}
+
+func TestMinimalOverheadVersusTor(t *testing.T) {
+	if WireOverhead >= 0.12 {
+		t.Fatal("incognito overhead should be well under Tor's 12%")
+	}
+}
+
+func TestStateExportEmpty(t *testing.T) {
+	r := newRig()
+	rel := r.relay()
+	if len(rel.ExportState()) != 0 {
+		t.Fatal("incognito should have no persistent state")
+	}
+	rel.ImportState(anonnet.State{"junk": "x"}) // must not panic
+}

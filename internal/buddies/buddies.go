@@ -1,0 +1,143 @@
+// Package buddies implements the Buddies integration the paper plans
+// in section 7: "Buddies offers users anonymity metrics and safe
+// guards a user from falling below a desirable anonymity threshold"
+// (Wolinsky, Syta & Ford, the paper's reference [77]).
+//
+// The monitor tracks, per pseudonym, the long-term intersection
+// attack's candidate set: the users who were online during *every*
+// round in which the pseudonym posted. Before each new post it
+// projects what the set would shrink to if the post were published
+// now, and refuses posts that would push the pseudonym below its
+// policy floor — trading liveness for anonymity exactly as Buddies
+// does.
+package buddies
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBelowThreshold is returned when posting would shrink the
+// pseudonym's anonymity set below its policy.
+var ErrBelowThreshold = errors.New("buddies: posting now would drop the anonymity set below the policy floor")
+
+// Policy is a pseudonym's anonymity requirement.
+type Policy struct {
+	// MinAnonymitySet is the smallest tolerable candidate-set size. A
+	// value of 1 disables protection (the user alone still posts).
+	MinAnonymitySet int
+}
+
+// Monitor tracks rounds and per-pseudonym candidate sets.
+type Monitor struct {
+	policies   map[string]Policy
+	candidates map[string]map[string]bool // nym -> remaining candidate users
+	online     map[string]bool            // current round's online set
+	rounds     int
+	posts      map[string]int
+	suppressed map[string]int
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{
+		policies:   make(map[string]Policy),
+		candidates: make(map[string]map[string]bool),
+		posts:      make(map[string]int),
+		suppressed: make(map[string]int),
+	}
+}
+
+// Register installs a pseudonym's policy. The candidate set starts
+// undefined and is initialized by the first posting round.
+func (m *Monitor) Register(nym string, p Policy) {
+	if p.MinAnonymitySet < 1 {
+		p.MinAnonymitySet = 1
+	}
+	m.policies[nym] = p
+}
+
+// BeginRound starts a new epoch with the given online user
+// population (as an adversary would observe it).
+func (m *Monitor) BeginRound(online []string) {
+	m.rounds++
+	m.online = make(map[string]bool, len(online))
+	for _, u := range online {
+		m.online[u] = true
+	}
+}
+
+// Rounds returns the number of rounds observed.
+func (m *Monitor) Rounds() int { return m.rounds }
+
+// project computes the candidate set that would result from posting
+// this round.
+func (m *Monitor) project(nym string) map[string]bool {
+	cur, initialized := m.candidates[nym]
+	out := make(map[string]bool)
+	if !initialized {
+		for u := range m.online {
+			out[u] = true
+		}
+		return out
+	}
+	for u := range cur {
+		if m.online[u] {
+			out[u] = true
+		}
+	}
+	return out
+}
+
+// AnonymitySet returns the pseudonym's current candidate-set size
+// (the intersection over all its posting rounds so far), or the
+// current online population if it has never posted.
+func (m *Monitor) AnonymitySet(nym string) int {
+	if cur, ok := m.candidates[nym]; ok {
+		return len(cur)
+	}
+	return len(m.online)
+}
+
+// ProjectedSet returns what the set would shrink to if the pseudonym
+// posted in the current round — the metric Buddies surfaces to users.
+func (m *Monitor) ProjectedSet(nym string) int { return len(m.project(nym)) }
+
+// RequestPost gates a post in the current round: allowed only if the
+// projected candidate set stays at or above the policy floor. On
+// success the set is committed (the adversary learned the round).
+func (m *Monitor) RequestPost(nym string) error {
+	policy, ok := m.policies[nym]
+	if !ok {
+		return fmt.Errorf("buddies: pseudonym %q not registered", nym)
+	}
+	if m.online == nil {
+		return errors.New("buddies: no active round")
+	}
+	projected := m.project(nym)
+	if len(projected) < policy.MinAnonymitySet {
+		m.suppressed[nym]++
+		return fmt.Errorf("%w: projected %d < floor %d", ErrBelowThreshold, len(projected), policy.MinAnonymitySet)
+	}
+	m.candidates[nym] = projected
+	m.posts[nym]++
+	return nil
+}
+
+// Posts returns the number of posts the pseudonym published.
+func (m *Monitor) Posts(nym string) int { return m.posts[nym] }
+
+// Suppressed returns the number of posts the monitor blocked.
+func (m *Monitor) Suppressed(nym string) int { return m.suppressed[nym] }
+
+// Candidates returns the current candidate users, sorted (the
+// adversary's suspect list — useful for reports and tests).
+func (m *Monitor) Candidates(nym string) []string {
+	out := make([]string, 0, len(m.candidates[nym]))
+	for u := range m.candidates[nym] {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}

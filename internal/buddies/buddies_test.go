@@ -1,0 +1,158 @@
+package buddies
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"nymix/internal/sim"
+)
+
+func users(names ...string) []string { return names }
+
+func TestFirstPostInitializesCandidateSet(t *testing.T) {
+	m := NewMonitor()
+	m.Register("blog", Policy{MinAnonymitySet: 2})
+	m.BeginRound(users("alice", "bob", "carol"))
+	if err := m.RequestPost("blog"); err != nil {
+		t.Fatal(err)
+	}
+	if m.AnonymitySet("blog") != 3 {
+		t.Fatalf("set = %d", m.AnonymitySet("blog"))
+	}
+}
+
+func TestIntersectionShrinksAcrossRounds(t *testing.T) {
+	m := NewMonitor()
+	m.Register("blog", Policy{MinAnonymitySet: 1})
+	m.BeginRound(users("alice", "bob", "carol", "dave"))
+	m.RequestPost("blog")
+	m.BeginRound(users("alice", "bob"))
+	m.RequestPost("blog")
+	if got := m.Candidates("blog"); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
+		t.Fatalf("candidates = %v", got)
+	}
+	m.BeginRound(users("alice", "eve"))
+	m.RequestPost("blog")
+	if got := m.Candidates("blog"); len(got) != 1 || got[0] != "alice" {
+		t.Fatalf("candidates = %v", got)
+	}
+}
+
+func TestGateBlocksBelowFloor(t *testing.T) {
+	m := NewMonitor()
+	m.Register("blog", Policy{MinAnonymitySet: 3})
+	m.BeginRound(users("alice", "bob", "carol", "dave"))
+	if err := m.RequestPost("blog"); err != nil {
+		t.Fatal(err)
+	}
+	// Only two candidates online: posting would identify Alice too
+	// narrowly; Buddies suppresses it.
+	m.BeginRound(users("alice", "bob"))
+	err := m.RequestPost("blog")
+	if !errors.Is(err, ErrBelowThreshold) {
+		t.Fatalf("err = %v", err)
+	}
+	// The candidate set is NOT committed by a suppressed post.
+	if m.AnonymitySet("blog") != 4 {
+		t.Fatalf("set = %d after suppression, want 4", m.AnonymitySet("blog"))
+	}
+	if m.Suppressed("blog") != 1 || m.Posts("blog") != 1 {
+		t.Fatalf("suppressed=%d posts=%d", m.Suppressed("blog"), m.Posts("blog"))
+	}
+	// A later round with enough overlap lets the post through.
+	m.BeginRound(users("alice", "bob", "carol"))
+	if err := m.RequestPost("blog"); err != nil {
+		t.Fatal(err)
+	}
+	if m.AnonymitySet("blog") != 3 {
+		t.Fatalf("set = %d", m.AnonymitySet("blog"))
+	}
+}
+
+func TestProjectedSetIsAdvisory(t *testing.T) {
+	m := NewMonitor()
+	m.Register("blog", Policy{MinAnonymitySet: 1})
+	m.BeginRound(users("a", "b", "c"))
+	m.RequestPost("blog")
+	m.BeginRound(users("a"))
+	if m.ProjectedSet("blog") != 1 {
+		t.Fatalf("projected = %d", m.ProjectedSet("blog"))
+	}
+	// Projection alone must not commit anything.
+	if m.AnonymitySet("blog") != 3 {
+		t.Fatalf("set = %d", m.AnonymitySet("blog"))
+	}
+}
+
+func TestUnregisteredAndNoRound(t *testing.T) {
+	m := NewMonitor()
+	if err := m.RequestPost("ghost"); err == nil {
+		t.Fatal("unregistered pseudonym posted")
+	}
+	m.Register("n", Policy{MinAnonymitySet: 1})
+	if err := m.RequestPost("n"); err == nil {
+		t.Fatal("post without a round")
+	}
+}
+
+func TestPolicyFloorClamped(t *testing.T) {
+	m := NewMonitor()
+	m.Register("n", Policy{MinAnonymitySet: 0})
+	m.BeginRound(users("only-me"))
+	if err := m.RequestPost("n"); err != nil {
+		t.Fatalf("clamped policy blocked: %v", err)
+	}
+}
+
+func TestTwoNymsIndependentSets(t *testing.T) {
+	m := NewMonitor()
+	m.Register("a", Policy{MinAnonymitySet: 1})
+	m.Register("b", Policy{MinAnonymitySet: 1})
+	m.BeginRound(users("u1", "u2", "u3"))
+	m.RequestPost("a")
+	m.BeginRound(users("u1"))
+	m.RequestPost("a")
+	m.RequestPost("b")
+	if m.AnonymitySet("a") != 1 {
+		t.Fatalf("a set = %d", m.AnonymitySet("a"))
+	}
+	if m.AnonymitySet("b") != 1 { // b's first post: current online set
+		t.Fatalf("b set = %d", m.AnonymitySet("b"))
+	}
+}
+
+// Property: the candidate set never grows, and with the gate enabled
+// it never drops below the floor after a successful post.
+func TestPropertyMonotoneAndGated(t *testing.T) {
+	f := func(rounds []uint16, floor uint8) bool {
+		minSet := int(floor)%5 + 1
+		m := NewMonitor()
+		m.Register("n", Policy{MinAnonymitySet: minSet})
+		rng := sim.NewRand(uint64(floor) + 1)
+		prev := 1 << 30
+		for _, r := range rounds {
+			// Random online population of 1-16 users from a pool of 20.
+			var online []string
+			n := int(r)%16 + 1
+			for i := 0; i < n; i++ {
+				online = append(online, string(rune('A'+rng.Intn(20))))
+			}
+			m.BeginRound(online)
+			if err := m.RequestPost("n"); err == nil {
+				set := m.AnonymitySet("n")
+				if set < minSet {
+					return false // gate failed
+				}
+				if set > prev {
+					return false // set grew
+				}
+				prev = set
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

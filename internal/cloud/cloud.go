@@ -1,0 +1,206 @@
+// Package cloud simulates the free-to-use cloud storage providers
+// (DropBox- and Google-Drive-like) that Nymix stores quasi-persistent
+// nym state on (paper section 3.5). A user creates a pseudonymous
+// account per nym; all interaction happens through the nym's
+// anonymizer, so "the cloud provider learns nothing about the account
+// owner", and blobs are encrypted, so it learns nothing about the nym
+// either.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+
+	"nymix/internal/anonnet"
+	"nymix/internal/sim"
+	"nymix/internal/vnet"
+)
+
+// Errors.
+var (
+	ErrAuth     = errors.New("cloud: authentication failed")
+	ErrNotFound = errors.New("cloud: blob not found")
+	ErrNoSpace  = errors.New("cloud: quota exceeded")
+)
+
+// Blob is one stored object. Data carries the real (encrypted) bytes;
+// WireSize is the simulated storage/transfer footprint, which can
+// exceed len(Data) because nym archives model bulk content (browser
+// caches) virtually.
+type Blob struct {
+	Data     []byte
+	WireSize int64
+	Uploaded sim.Time
+}
+
+// account is a pseudonymous cloud account.
+type account struct {
+	password string
+	blobs    map[string]Blob
+	used     int64
+}
+
+// Provider is one cloud storage service attached to the Internet.
+type Provider struct {
+	name     string
+	node     *vnet.Node
+	accounts map[string]*account
+	quota    int64 // per-account bytes; 0 = unlimited
+	// Uploads counts lifetime blob puts, for tests and stats.
+	Uploads int
+}
+
+// NewProvider attaches a provider to the network at the given router
+// (typically the Internet backbone) and returns it.
+func NewProvider(net *vnet.Network, attach *vnet.Node, name string, quota int64, cfg vnet.LinkConfig) *Provider {
+	node := net.AddNode("cloud:" + name)
+	net.Connect(node, attach, cfg)
+	return &Provider{
+		name:     name,
+		node:     node,
+		accounts: make(map[string]*account),
+		quota:    quota,
+	}
+}
+
+// Name returns the provider name.
+func (pr *Provider) Name() string { return pr.name }
+
+// NodeName returns the provider's network node name.
+func (pr *Provider) NodeName() string { return pr.node.Name() }
+
+// CreateAccount registers a pseudonymous account. Creating an account
+// that exists with a different password fails.
+func (pr *Provider) CreateAccount(user, password string) error {
+	if acct, ok := pr.accounts[user]; ok {
+		if acct.password != password {
+			return fmt.Errorf("%w: account %q exists", ErrAuth, user)
+		}
+		return nil
+	}
+	pr.accounts[user] = &account{password: password, blobs: make(map[string]Blob)}
+	return nil
+}
+
+// auth validates credentials.
+func (pr *Provider) auth(user, password string) (*account, error) {
+	acct, ok := pr.accounts[user]
+	if !ok || acct.password != password {
+		return nil, ErrAuth
+	}
+	return acct, nil
+}
+
+// StoredBytes returns an account's storage use (0 for unknown users).
+func (pr *Provider) StoredBytes(user string) int64 {
+	if acct, ok := pr.accounts[user]; ok {
+		return acct.used
+	}
+	return 0
+}
+
+// BlobInfo returns the wire size of a stored blob.
+func (pr *Provider) BlobInfo(user, name string) (int64, bool) {
+	if acct, ok := pr.accounts[user]; ok {
+		if b, ok := acct.blobs[name]; ok {
+			return b.WireSize, true
+		}
+	}
+	return 0, false
+}
+
+// Session is an authenticated client session reached through an
+// anonymizer.
+type Session struct {
+	provider *Provider
+	acct     *account
+	anon     anonnet.Anonymizer
+	user     string
+}
+
+// loginExchangeBytes covers the TLS handshake and login form.
+const loginExchangeBytes = 96 << 10
+
+// Login authenticates through the anonymizer and returns a session.
+// The paper's workflow: "the Nym Manager navigates the user to the
+// cloud service, using the CommVM's anonymizer to protect this
+// connection, and prompts the user to login".
+func Login(p *sim.Proc, anon anonnet.Anonymizer, pr *Provider, user, password string) (*Session, error) {
+	if _, err := anon.Fetch(p, anonnet.Request{
+		SiteNode: pr.NodeName(), SendBytes: 4096, RecvBytes: loginExchangeBytes,
+	}); err != nil {
+		return nil, fmt.Errorf("cloud: login exchange: %w", err)
+	}
+	acct, err := pr.auth(user, password)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{provider: pr, acct: acct, anon: anon, user: user}, nil
+}
+
+// User returns the session's account name.
+func (s *Session) User() string { return s.user }
+
+// Put uploads a blob through the anonymizer. The transfer costs
+// blob.WireSize bytes upstream.
+func (s *Session) Put(p *sim.Proc, name string, blob Blob) error {
+	if s.provider.quota != 0 {
+		delta := blob.WireSize
+		if old, ok := s.acct.blobs[name]; ok {
+			delta -= old.WireSize
+		}
+		if s.acct.used+delta > s.provider.quota {
+			return fmt.Errorf("%w: %d + %d > %d", ErrNoSpace, s.acct.used, delta, s.provider.quota)
+		}
+	}
+	if _, err := s.anon.Fetch(p, anonnet.Request{
+		SiteNode: s.provider.NodeName(), SendBytes: blob.WireSize, RecvBytes: 2048,
+	}); err != nil {
+		return fmt.Errorf("cloud: upload: %w", err)
+	}
+	if old, ok := s.acct.blobs[name]; ok {
+		s.acct.used -= old.WireSize
+	}
+	blob.Uploaded = p.Now()
+	blob.Data = append([]byte(nil), blob.Data...)
+	s.acct.blobs[name] = blob
+	s.acct.used += blob.WireSize
+	s.provider.Uploads++
+	return nil
+}
+
+// Get downloads a blob through the anonymizer; the transfer costs
+// WireSize bytes downstream.
+func (s *Session) Get(p *sim.Proc, name string) (Blob, error) {
+	blob, ok := s.acct.blobs[name]
+	if !ok {
+		return Blob{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if _, err := s.anon.Fetch(p, anonnet.Request{
+		SiteNode: s.provider.NodeName(), SendBytes: 2048, RecvBytes: blob.WireSize,
+	}); err != nil {
+		return Blob{}, fmt.Errorf("cloud: download: %w", err)
+	}
+	blob.Data = append([]byte(nil), blob.Data...)
+	return blob, nil
+}
+
+// List returns the names of the account's blobs (order unspecified).
+func (s *Session) List() []string {
+	out := make([]string, 0, len(s.acct.blobs))
+	for name := range s.acct.blobs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Delete removes a blob.
+func (s *Session) Delete(name string) error {
+	blob, ok := s.acct.blobs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	s.acct.used -= blob.WireSize
+	delete(s.acct.blobs, name)
+	return nil
+}

@@ -1,0 +1,187 @@
+package cloud
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nymix/internal/anonnet/incognito"
+	"nymix/internal/sim"
+	"nymix/internal/vnet"
+	"nymix/internal/webworld"
+)
+
+type rig struct {
+	eng      *sim.Engine
+	net      *vnet.Network
+	world    *webworld.World
+	provider *Provider
+	relay    *incognito.Relay
+}
+
+func newRig(quota int64) *rig {
+	eng := sim.NewEngine(37)
+	net, world := webworld.BuildDefault(eng)
+	// Mirror the real topology: the CommVM reaches the gateway through
+	// the masquerading Nymix host.
+	comm := net.AddNode("commvm")
+	host := net.AddNode("host").SetForwarding(true).SetMasquerade(true)
+	net.Connect(comm, host, vnet.LinkConfig{Latency: 200 * time.Microsecond, Capacity: 500e6})
+	net.Connect(host, world.Gateway(), webworld.UplinkConfig)
+	pr := NewProvider(net, world.Internet(), "dropbin", quota,
+		vnet.LinkConfig{Latency: 2 * time.Millisecond, Capacity: 1e9 / 8})
+	relay := incognito.New(net, "commvm", "host", world.ISPDNS().Name(), world.Resolver())
+	return &rig{eng: eng, net: net, world: world, provider: pr, relay: relay}
+}
+
+func TestAccountLifecycle(t *testing.T) {
+	r := newRig(0)
+	if err := r.provider.CreateAccount("anon-4821", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-creating with the same password is idempotent.
+	if err := r.provider.CreateAccount("anon-4821", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.provider.CreateAccount("anon-4821", "other"); !errors.Is(err, ErrAuth) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	r := newRig(0)
+	r.provider.CreateAccount("u", "pw")
+	var got Blob
+	r.eng.Go("t", func(p *sim.Proc) {
+		r.relay.Start(p)
+		sess, err := Login(p, r.relay, r.provider, "u", "pw")
+		if err != nil {
+			t.Errorf("login: %v", err)
+			return
+		}
+		blob := Blob{Data: []byte("encrypted-archive"), WireSize: 5 << 20}
+		if err := sess.Put(p, "nym.enc", blob); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		got, err = sess.Get(p, "nym.enc")
+		if err != nil {
+			t.Errorf("get: %v", err)
+		}
+	})
+	r.eng.Run()
+	if string(got.Data) != "encrypted-archive" || got.WireSize != 5<<20 {
+		t.Fatalf("blob = %+v", got)
+	}
+	if r.provider.StoredBytes("u") != 5<<20 {
+		t.Fatalf("stored = %d", r.provider.StoredBytes("u"))
+	}
+	if size, ok := r.provider.BlobInfo("u", "nym.enc"); !ok || size != 5<<20 {
+		t.Fatalf("blob info = %d %v", size, ok)
+	}
+}
+
+func TestTransferTimeScalesWithWireSize(t *testing.T) {
+	r := newRig(0)
+	r.provider.CreateAccount("u", "pw")
+	var small, large time.Duration
+	r.eng.Go("t", func(p *sim.Proc) {
+		r.relay.Start(p)
+		sess, _ := Login(p, r.relay, r.provider, "u", "pw")
+		start := p.Now()
+		sess.Put(p, "small", Blob{WireSize: 1 << 20})
+		small = p.Now() - start
+		start = p.Now()
+		sess.Put(p, "large", Blob{WireSize: 10 << 20})
+		large = p.Now() - start
+	})
+	r.eng.Run()
+	if large < 5*small {
+		t.Fatalf("10 MiB upload (%v) not ~10x the 1 MiB one (%v)", large, small)
+	}
+}
+
+func TestBadLoginRejected(t *testing.T) {
+	r := newRig(0)
+	r.provider.CreateAccount("u", "pw")
+	var err error
+	r.eng.Go("t", func(p *sim.Proc) {
+		r.relay.Start(p)
+		_, err = Login(p, r.relay, r.provider, "u", "wrong")
+	})
+	r.eng.Run()
+	if !errors.Is(err, ErrAuth) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuotaEnforced(t *testing.T) {
+	r := newRig(8 << 20)
+	r.provider.CreateAccount("u", "pw")
+	var err1, err2, err3 error
+	r.eng.Go("t", func(p *sim.Proc) {
+		r.relay.Start(p)
+		sess, _ := Login(p, r.relay, r.provider, "u", "pw")
+		err1 = sess.Put(p, "a", Blob{WireSize: 6 << 20})
+		err2 = sess.Put(p, "b", Blob{WireSize: 6 << 20})
+		// Overwriting a charges only the delta.
+		err3 = sess.Put(p, "a", Blob{WireSize: 7 << 20})
+	})
+	r.eng.Run()
+	if err1 != nil {
+		t.Fatalf("first put: %v", err1)
+	}
+	if !errors.Is(err2, ErrNoSpace) {
+		t.Fatalf("second put: %v", err2)
+	}
+	if err3 != nil {
+		t.Fatalf("overwrite put: %v", err3)
+	}
+}
+
+func TestGetMissingAndDelete(t *testing.T) {
+	r := newRig(0)
+	r.provider.CreateAccount("u", "pw")
+	var errGet, errDel error
+	r.eng.Go("t", func(p *sim.Proc) {
+		r.relay.Start(p)
+		sess, _ := Login(p, r.relay, r.provider, "u", "pw")
+		_, errGet = sess.Get(p, "missing")
+		sess.Put(p, "x", Blob{WireSize: 100})
+		errDel = sess.Delete("x")
+		if len(sess.List()) != 0 {
+			t.Error("list not empty after delete")
+		}
+	})
+	r.eng.Run()
+	if !errors.Is(errGet, ErrNotFound) {
+		t.Fatalf("get: %v", errGet)
+	}
+	if errDel != nil {
+		t.Fatalf("delete: %v", errDel)
+	}
+	if r.provider.StoredBytes("u") != 0 {
+		t.Fatal("storage not reclaimed")
+	}
+}
+
+func TestProviderKnowsOnlyExitIdentity(t *testing.T) {
+	// Interactions go through the anonymizer: a capture at the provider
+	// must never show the CommVM itself when a real anonymizer fronts
+	// it. (With incognito it shows the NAT host — still not the VM.)
+	r := newRig(0)
+	r.provider.CreateAccount("u", "pw")
+	node := r.net.Node(r.provider.NodeName())
+	tap := node.Ifaces()[0].Link().Tap()
+	r.eng.Go("t", func(p *sim.Proc) {
+		r.relay.Start(p)
+		sess, _ := Login(p, r.relay, r.provider, "u", "pw")
+		sess.Put(p, "n", Blob{WireSize: 1 << 20})
+	})
+	r.eng.Run()
+	for _, e := range tap.Entries {
+		if e.ObservedSrc == "commvm" {
+			t.Fatalf("provider observed the CommVM directly")
+		}
+	}
+}

@@ -1,0 +1,432 @@
+// Package core implements the Nym Manager, the heart of the Nymix
+// architecture (paper section 3): supervisory control over nymbox
+// creation, longevity, and destruction.
+//
+// Each nym the user starts gets a nymbox — an AnonVM for browsing and
+// a CommVM running a pluggable anonymizer, joined by a private virtual
+// wire — so that all client-side state and network identity bind to
+// exactly one pseudonym. Nyms follow one of three usage models:
+// ephemeral (amnesia on termination), persistent (state re-archived
+// after every session), or pre-configured (a golden snapshot restored
+// each session, so stains are scrubbed on the next boot). Archived
+// state is compressed, encrypted, and stored on cloud providers
+// through the nym's own anonymizer, or on local media. Files cross
+// into a nym only through the SaniVM's scrubbing pipeline.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nymix/internal/anonnet"
+	"nymix/internal/anonnet/dissent"
+	"nymix/internal/anonnet/incognito"
+	"nymix/internal/anonnet/sweet"
+	"nymix/internal/anonnet/tor"
+	"nymix/internal/browser"
+	"nymix/internal/buddies"
+	"nymix/internal/cloud"
+	"nymix/internal/guestos"
+	"nymix/internal/hypervisor"
+	"nymix/internal/sim"
+	"nymix/internal/vm"
+	"nymix/internal/vnet"
+	"nymix/internal/webworld"
+)
+
+// UsageModel selects a nym's persistence behaviour (section 3.5).
+type UsageModel string
+
+// The three usage models.
+const (
+	ModelEphemeral     UsageModel = "ephemeral"
+	ModelPersistent    UsageModel = "persistent"
+	ModelPreconfigured UsageModel = "preconfigured"
+)
+
+// Errors.
+var (
+	ErrNymExists     = errors.New("core: nym already running")
+	ErrNymTerminated = errors.New("core: nym terminated")
+	ErrUnknownAnon   = errors.New("core: unknown anonymizer")
+	ErrNoProvider    = errors.New("core: unknown cloud provider")
+	ErrHostTampered  = errors.New("core: host partition failed integrity verification; refusing to launch nyms")
+)
+
+// Options parameterizes a new nym.
+type Options struct {
+	Model      UsageModel
+	Anonymizer string   // "tor", "dissent", "incognito"
+	Chain      []string // optional serial chain (section 3.3); overrides Anonymizer
+	// VM sizing; zero values take the paper's evaluation defaults.
+	AnonRAM  int64
+	AnonDisk int64
+	CommRAM  int64
+	CommDisk int64
+	CacheCap int64 // browser cache cap; 0 = Chromium's 83 MB default
+	// GuardSeed, when set, derives the Tor entry guard
+	// deterministically (section 3.5's fix for the ephemeral-loader
+	// intersection hole).
+	GuardSeed string
+	// DissentMembers is the anonymity set size for Dissent nyms.
+	DissentMembers int
+}
+
+// Evaluation-default VM sizes (section 5.2): "we allocated 16 MB disk
+// space and 128 MB RAM to each CommVM and 128 MB disk space to each
+// AnonVM", with 384 MB AnonVM RAM for web workloads.
+const (
+	DefaultAnonRAM  = 384 * guestos.MiB
+	DefaultAnonDisk = 128 * guestos.MiB
+	DefaultCommRAM  = 128 * guestos.MiB
+	DefaultCommDisk = 16 * guestos.MiB
+)
+
+func (o *Options) fillDefaults() {
+	if o.Model == "" {
+		o.Model = ModelEphemeral
+	}
+	if o.Anonymizer == "" && len(o.Chain) == 0 {
+		o.Anonymizer = "tor"
+	}
+	if o.AnonRAM == 0 {
+		o.AnonRAM = DefaultAnonRAM
+	}
+	if o.AnonDisk == 0 {
+		o.AnonDisk = DefaultAnonDisk
+	}
+	if o.CommRAM == 0 {
+		o.CommRAM = DefaultCommRAM
+	}
+	if o.CommDisk == 0 {
+		o.CommDisk = DefaultCommDisk
+	}
+	if o.DissentMembers == 0 {
+		o.DissentMembers = 16
+	}
+}
+
+// Manager is the Nym Manager.
+type Manager struct {
+	eng       *sim.Engine
+	net       *vnet.Network
+	world     *webworld.World
+	host      *hypervisor.Host
+	nyms      map[string]*Nym
+	nextID    int
+	providers map[string]*cloud.Provider
+	// localStore models a second USB drive / local partition for
+	// quasi-persistent state kept off the cloud.
+	localStore map[string][]byte
+	sani       *vm.VM
+}
+
+// NewManager boots a Nymix host attached to the world's gateway and
+// registers the default cloud providers.
+func NewManager(eng *sim.Engine, world *webworld.World, hostCfg hypervisor.Config) (*Manager, error) {
+	host, err := hypervisor.New(eng, world.Net(), hostCfg)
+	if err != nil {
+		return nil, err
+	}
+	host.ConnectUplink(world.Gateway(), webworld.UplinkConfig)
+	m := &Manager{
+		eng:        eng,
+		net:        world.Net(),
+		world:      world,
+		host:       host,
+		nyms:       make(map[string]*Nym),
+		providers:  make(map[string]*cloud.Provider),
+		localStore: make(map[string][]byte),
+	}
+	providerCfg := vnet.LinkConfig{Latency: 2 * time.Millisecond, Capacity: 1e9 / 8}
+	for _, name := range []string{"dropbin", "gdrive"} {
+		m.providers[name] = cloud.NewProvider(world.Net(), world.Internet(), name, 2<<30, providerCfg)
+	}
+	return m, nil
+}
+
+// Host returns the hypervisor.
+func (m *Manager) Host() *hypervisor.Host { return m.host }
+
+// World returns the simulated Internet.
+func (m *Manager) World() *webworld.World { return m.world }
+
+// Engine returns the simulation engine.
+func (m *Manager) Engine() *sim.Engine { return m.eng }
+
+// Provider returns a registered cloud provider.
+func (m *Manager) Provider(name string) (*cloud.Provider, error) {
+	p, ok := m.providers[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoProvider, name)
+	}
+	return p, nil
+}
+
+// Nym returns a running nym by name, or nil.
+func (m *Manager) Nym(name string) *Nym { return m.nyms[name] }
+
+// RunningNyms returns the number of live nyms.
+func (m *Manager) RunningNyms() int { return len(m.nyms) }
+
+// StartPhases records a nym's startup phase durations — the bars of
+// Figure 7.
+type StartPhases struct {
+	EphemeralNym time.Duration // cloud-restore helper nym (quasi-persistent loads only)
+	BootVM       time.Duration
+	StartAnon    time.Duration
+	FirstPage    time.Duration // filled by the first Visit
+}
+
+// Total sums the phases.
+func (s StartPhases) Total() time.Duration {
+	return s.EphemeralNym + s.BootVM + s.StartAnon + s.FirstPage
+}
+
+// Nym is one running pseudonym bound to its nymbox.
+type Nym struct {
+	mgr        *Manager
+	name       string
+	model      UsageModel
+	opts       Options
+	anonVM     *vm.VM
+	commVM     *vm.VM
+	anon       anonnet.Anonymizer
+	browser    *browser.Browser
+	phases     StartPhases
+	cycles     int
+	terminated bool
+	buddiesMon *buddies.Monitor // optional intersection-attack guard (section 7)
+}
+
+// Name returns the nym's name.
+func (n *Nym) Name() string { return n.name }
+
+// Model returns the usage model.
+func (n *Nym) Model() UsageModel { return n.model }
+
+// AnonVM returns the nym's browsing VM.
+func (n *Nym) AnonVM() *vm.VM { return n.anonVM }
+
+// CommVM returns the nym's anonymizer VM.
+func (n *Nym) CommVM() *vm.VM { return n.commVM }
+
+// Anonymizer returns the nym's communication tool.
+func (n *Nym) Anonymizer() anonnet.Anonymizer { return n.anon }
+
+// Browser returns the nym's browser.
+func (n *Nym) Browser() *browser.Browser { return n.browser }
+
+// Phases returns the startup phase timings.
+func (n *Nym) Phases() StartPhases { return n.phases }
+
+// Cycles returns completed save/restore cycles.
+func (n *Nym) Cycles() int { return n.cycles }
+
+// StartNym creates, wires, and boots a fresh nymbox, then bootstraps
+// its anonymizer. It blocks the calling process for the full startup.
+func (m *Manager) StartNym(p *sim.Proc, name string, opts Options) (*Nym, error) {
+	return m.startNym(p, name, opts, nil)
+}
+
+// startNym optionally restores archived state (restore != nil).
+func (m *Manager) startNym(p *sim.Proc, name string, opts Options, restore *restoredState) (*Nym, error) {
+	if _, exists := m.nyms[name]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrNymExists, name)
+	}
+	// Section 3.4: verify the host partition against its well-known
+	// Merkle root and "safely shut down rather than risk vulnerability
+	// if a modified block is detected".
+	if err := m.host.VerifyBaseImage(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHostTampered, err)
+	}
+	opts.fillDefaults()
+	m.nextID++
+	id := m.nextID
+	anonName := fmt.Sprintf("nym%d-anon", id)
+	commName := fmt.Sprintf("nym%d-comm", id)
+	anonVM, err := m.host.LaunchVM(vm.Config{
+		Name: anonName, Role: guestos.RoleAnonVM,
+		RAMBytes: opts.AnonRAM, DiskBytes: opts.AnonDisk, Anonymizer: opts.Anonymizer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	commVM, err := m.host.LaunchVM(vm.Config{
+		Name: commName, Role: guestos.RoleCommVM,
+		RAMBytes: opts.CommRAM, DiskBytes: opts.CommDisk, Anonymizer: opts.Anonymizer,
+	})
+	if err != nil {
+		m.host.DestroyVM(p, anonVM)
+		return nil, err
+	}
+	if err := m.host.WireNymbox(anonVM, commVM); err != nil {
+		m.host.DestroyVM(p, anonVM)
+		m.host.DestroyVM(p, commVM)
+		return nil, err
+	}
+
+	// Boot both VMs in parallel; the phase is the slower of the two.
+	bootStart := p.Now()
+	var anonErr, commErr error
+	anonDone := m.eng.Go(anonName+"/boot", func(bp *sim.Proc) { anonErr = anonVM.Boot(bp) })
+	commDone := m.eng.Go(commName+"/boot", func(bp *sim.Proc) { commErr = commVM.Boot(bp) })
+	sim.Await(p, anonDone)
+	sim.Await(p, commDone)
+	if anonErr != nil || commErr != nil {
+		m.host.DestroyVM(p, anonVM)
+		m.host.DestroyVM(p, commVM)
+		if anonErr != nil {
+			return nil, fmt.Errorf("core: boot AnonVM: %w", anonErr)
+		}
+		return nil, fmt.Errorf("core: boot CommVM: %w", commErr)
+	}
+	bootDur := p.Now() - bootStart
+
+	// Restore archived disks before the anonymizer starts, so Tor sees
+	// its cached state.
+	if restore != nil {
+		if err := anonVM.Disk().Restore(restore.state.AnonDisk); err != nil {
+			return nil, fmt.Errorf("core: restore AnonVM disk: %w", err)
+		}
+		if err := commVM.Disk().Restore(restore.state.CommDisk); err != nil {
+			return nil, fmt.Errorf("core: restore CommVM disk: %w", err)
+		}
+	}
+
+	anon, err := m.buildAnonymizer(opts, commName)
+	if err != nil {
+		m.host.DestroyVM(p, anonVM)
+		m.host.DestroyVM(p, commVM)
+		return nil, err
+	}
+	if restore != nil && restore.state.AnonState != nil {
+		anon.ImportState(restore.state.AnonState)
+	}
+	anonStart := p.Now()
+	if err := anon.Start(p); err != nil {
+		m.host.DestroyVM(p, anonVM)
+		m.host.DestroyVM(p, commVM)
+		return nil, fmt.Errorf("core: start %s: %w", anon.Name(), err)
+	}
+	anonDur := p.Now() - anonStart
+
+	n := &Nym{
+		mgr:    m,
+		name:   name,
+		model:  opts.Model,
+		opts:   opts,
+		anonVM: anonVM,
+		commVM: commVM,
+		anon:   anon,
+		phases: StartPhases{BootVM: bootDur, StartAnon: anonDur},
+	}
+	if restore != nil {
+		n.cycles = restore.state.Cycles
+		n.phases.EphemeralNym = restore.ephemeralPhase
+	}
+	n.browser = browser.New(m.world, m.net, anonVM, commName, anon, browser.Config{CacheCap: opts.CacheCap})
+	m.nyms[name] = n
+	return n, nil
+}
+
+// buildAnonymizer constructs the pluggable communication tool.
+func (m *Manager) buildAnonymizer(opts Options, commName string) (anonnet.Anonymizer, error) {
+	build := func(kind string) (anonnet.Anonymizer, error) {
+		switch kind {
+		case "tor":
+			c := tor.New(m.net, commName, m.world.Relays(), m.world.Resolver())
+			if opts.GuardSeed != "" {
+				c.SetGuardSeed(opts.GuardSeed)
+			}
+			return c, nil
+		case "dissent":
+			return dissent.New(m.net, commName, m.world.DissentServers(), opts.DissentMembers, m.world.Resolver()), nil
+		case "incognito":
+			return incognito.New(m.net, commName, m.host.Node().Name(), m.world.ISPDNS().Name(), m.world.Resolver()), nil
+		case "sweet":
+			return sweet.New(m.net, commName, m.world.MailGateway().Name(), m.world.SweetProxy().Name(), m.world.Resolver()), nil
+		case "tor-bridge":
+			// Tor behind a StegoTorus-style camouflage transport: the
+			// censor's wire capture shows HTTPS, never Tor.
+			c := tor.New(m.net, commName, m.world.Relays(), m.world.Resolver())
+			if opts.GuardSeed != "" {
+				c.SetGuardSeed(opts.GuardSeed)
+			}
+			c.SetBridgeTransport("https")
+			return c, nil
+		default:
+			return nil, fmt.Errorf("%w: %q", ErrUnknownAnon, kind)
+		}
+	}
+	if len(opts.Chain) > 0 {
+		var stages []anonnet.Anonymizer
+		for _, kind := range opts.Chain {
+			s, err := build(kind)
+			if err != nil {
+				return nil, err
+			}
+			stages = append(stages, s)
+		}
+		return anonnet.NewChain(stages...), nil
+	}
+	return build(opts.Anonymizer)
+}
+
+// Visit loads a page in the nym's browser, recording the first-page
+// phase.
+func (n *Nym) Visit(p *sim.Proc, host string) (browser.VisitResult, error) {
+	if n.terminated {
+		return browser.VisitResult{}, ErrNymTerminated
+	}
+	res, err := n.browser.Visit(p, host)
+	if err == nil && n.phases.FirstPage == 0 {
+		n.phases.FirstPage = res.Elapsed
+	}
+	return res, err
+}
+
+// EnableBuddies attaches the section 7 anonymity monitor: linkable
+// posts from this nym are gated so its intersection-attack candidate
+// set never falls below the policy floor.
+func (n *Nym) EnableBuddies(mon *buddies.Monitor, policy buddies.Policy) {
+	mon.Register(n.name, policy)
+	n.buddiesMon = mon
+}
+
+// Post publishes to a site through the nym's browser. With Buddies
+// enabled, the post is first cleared against the anonymity policy and
+// suppressed (with ErrBelowThreshold wrapped) when publishing now
+// would identify the user too narrowly.
+func (n *Nym) Post(p *sim.Proc, host, content string) (browser.VisitResult, error) {
+	if n.terminated {
+		return browser.VisitResult{}, ErrNymTerminated
+	}
+	if n.buddiesMon != nil {
+		if err := n.buddiesMon.RequestPost(n.name); err != nil {
+			return browser.VisitResult{}, err
+		}
+	}
+	return n.browser.Post(p, host, content)
+}
+
+// TerminateNym shuts a nym down: the anonymizer stops, both VMs are
+// destroyed with their memory securely erased, and — for an ephemeral
+// nym — every trace is gone ("turning off a pseudonym results in
+// amnesia", section 3.4).
+func (m *Manager) TerminateNym(p *sim.Proc, n *Nym) error {
+	if n.terminated {
+		return ErrNymTerminated
+	}
+	n.anon.Stop()
+	if err := m.host.DestroyVM(p, n.anonVM); err != nil {
+		return err
+	}
+	if err := m.host.DestroyVM(p, n.commVM); err != nil {
+		return err
+	}
+	n.terminated = true
+	delete(m.nyms, n.name)
+	return nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"path"
+	"time"
+
+	"nymix/internal/guestos"
+	"nymix/internal/installedos"
+	"nymix/internal/sanitize"
+	"nymix/internal/sim"
+	"nymix/internal/vm"
+)
+
+// SaniVM sizing.
+const (
+	saniRAM  = 256 * guestos.MiB
+	saniDisk = 64 * guestos.MiB
+)
+
+// scrubRate is the SaniVM's analysis+transform throughput.
+const scrubRate = 24 << 20 // bytes/second
+
+// SaniVM lazily launches the single non-networked sanitation VM
+// (section 3.6: "Nymix employs a SaniVM to isolate the user's data to
+// a single non-networked environment").
+func (m *Manager) SaniVM(p *sim.Proc) (*vm.VM, error) {
+	if m.sani != nil {
+		return m.sani, nil
+	}
+	sani, err := m.host.LaunchVM(vm.Config{
+		Name: "sanivm", Role: guestos.RoleSaniVM,
+		RAMBytes: saniRAM, DiskBytes: saniDisk,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sani.Boot(p); err != nil {
+		return nil, err
+	}
+	if sani.Node() != nil {
+		panic("core: SaniVM must be non-networked")
+	}
+	m.sani = sani
+	return sani, nil
+}
+
+// TransferReport describes one sanitized file transfer.
+type TransferReport struct {
+	SourcePath string
+	DestPath   string
+	RisksFound []sanitize.Risk // pre-scrub analysis shown to the user
+	Applied    []string
+	Residual   []sanitize.Risk // what remains after scrubbing
+	Bytes      int
+}
+
+// TransferFile moves a file from the installed OS into a nym through
+// the SaniVM pipeline: mount read-only, analyze, scrub under the
+// user's options, then hop hypervisor shared folders into the nym's
+// AnonVM inbox (sections 3.6 and 4.3). The returned report is what
+// the SaniVM UI would show.
+func (m *Manager) TransferFile(p *sim.Proc, src *installedos.Image, srcPath string, n *Nym, opts sanitize.Options) (*TransferReport, error) {
+	if n.terminated {
+		return nil, ErrNymTerminated
+	}
+	sani, err := m.SaniVM(p)
+	if err != nil {
+		return nil, err
+	}
+	data, err := src.Disk().FS().ReadFile(srcPath)
+	if err != nil {
+		return nil, fmt.Errorf("core: sanivm mount read: %w", err)
+	}
+	base := path.Base(srcPath)
+	// The per-nym drop directory triggers the scrubbing workflow.
+	inPath := "/nyms/" + n.name + "/in/" + base
+	if err := sani.Disk().WriteFile(inPath, data); err != nil {
+		return nil, err
+	}
+	report := &TransferReport{SourcePath: srcPath}
+	report.RisksFound = sanitize.Analyze(base, data)
+	// Analysis plus transformation time scales with the file.
+	p.Sleep(time.Duration(float64(len(data)) / scrubRate * float64(time.Second)))
+	res, err := sanitize.Scrub(base, data, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: scrub: %w", err)
+	}
+	report.Applied = res.Applied
+	report.Residual = res.Residual
+	report.Bytes = len(res.Data)
+	outPath := "/nyms/" + n.name + "/out/" + base
+	if err := sani.Disk().WriteFile(outPath, res.Data); err != nil {
+		return nil, err
+	}
+	report.DestPath = "/media/inbox/" + base
+	if err := m.host.MoveFile(sani, outPath, n.anonVM, report.DestPath); err != nil {
+		return nil, err
+	}
+	// The staging copies do not linger in the SaniVM.
+	sani.Disk().Remove(inPath)
+	sani.Disk().Remove(outPath)
+	return report, nil
+}
+
+// BootInstalledOS boots the machine's installed OS as a
+// (non-anonymous) nymbox: repair if needed, then boot into the COW
+// overlay (section 3.7). Returns the repair and boot durations.
+func (m *Manager) BootInstalledOS(p *sim.Proc, img *installedos.Image) (repair, boot time.Duration, err error) {
+	repair, err = img.Repair(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	boot, err = img.Boot(p)
+	if err != nil {
+		return repair, 0, err
+	}
+	return repair, boot, nil
+}

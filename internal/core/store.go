@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nymix/internal/cloud"
+	"nymix/internal/nymstate"
+	"nymix/internal/sim"
+)
+
+// StoreDest names where quasi-persistent state goes.
+type StoreDest struct {
+	Provider        string // cloud provider name; "" means local media
+	Account         string // pseudonymous cloud account
+	AccountPassword string
+}
+
+// Local is the local-media destination (a second USB partition),
+// trading the cloud's deniability for immunity to the
+// ephemeral-loader intersection hole (section 3.5).
+var Local = StoreDest{}
+
+// restoredState carries an opened archive into startNym.
+type restoredState struct {
+	state          *nymstate.State
+	ephemeralPhase time.Duration
+}
+
+// archiveBlobName is the stored object name for a nym.
+func archiveBlobName(nymName string) string { return "nym-" + nymName + ".enc" }
+
+// torConsensusBytes is the cached directory state written into the
+// CommVM disk at save time, so the CommVM accounts for ~15% of a
+// stored nym (Figure 6's complement to "the AnonVM content accounting
+// for 85% of the pseudonym size").
+const torConsensusBytes = 2200 << 10
+
+// exportState pauses the nymbox, syncs file systems, and exports the
+// writable layers plus anonymizer state (the section 3.5 save path).
+func (m *Manager) exportState(p *sim.Proc, n *Nym) (*nymstate.State, error) {
+	if err := n.anonVM.Pause(); err != nil {
+		return nil, err
+	}
+	if err := n.commVM.Pause(); err != nil {
+		n.anonVM.Resume()
+		return nil, err
+	}
+	// Sync: flush anonymizer state into the CommVM's file system so the
+	// disk image is self-contained.
+	st := n.anon.ExportState()
+	for k, v := range st {
+		if err := n.commVM.Disk().WriteFile("/var/lib/anonymizer/"+k, []byte(v)); err != nil {
+			return nil, err
+		}
+	}
+	if st["consensus"] == "cached" && !n.commVM.Disk().FS().Exists("/var/lib/anonymizer/cached-consensus.d") {
+		if err := n.commVM.Disk().WriteVirtual("/var/lib/anonymizer/cached-consensus.d", torConsensusBytes, 0.62); err != nil {
+			return nil, err
+		}
+	}
+	out := &nymstate.State{
+		Name:      n.name,
+		Model:     string(n.model),
+		Cycles:    n.cycles,
+		AnonDisk:  n.anonVM.Disk().Snapshot(),
+		CommDisk:  n.commVM.Disk().Snapshot(),
+		AnonState: st,
+	}
+	n.anonVM.Resume()
+	n.commVM.Resume()
+	return out, nil
+}
+
+// sealArchive compresses and encrypts, charging simulated CPU time.
+func (m *Manager) sealArchive(p *sim.Proc, st *nymstate.State, password string) (*nymstate.Archive, error) {
+	logical := nymstate.LogicalSize(st)
+	p.Sleep(time.Duration(float64(logical) / nymstate.CompressRate * float64(time.Second)))
+	arch, err := nymstate.Seal(st, password, m.eng.Rand())
+	if err != nil {
+		return nil, err
+	}
+	p.Sleep(time.Duration(float64(arch.WireSize) / nymstate.CryptoRate * float64(time.Second)))
+	return arch, nil
+}
+
+// openArchive decrypts and decompresses, charging simulated CPU time.
+func (m *Manager) openArchive(p *sim.Proc, arch *nymstate.Archive, password, name string) (*nymstate.State, error) {
+	p.Sleep(time.Duration(float64(arch.WireSize) / nymstate.CryptoRate * float64(time.Second)))
+	st, err := nymstate.Open(arch, password, name)
+	if err != nil {
+		return nil, err
+	}
+	p.Sleep(time.Duration(float64(nymstate.LogicalSize(st)) / nymstate.CompressRate * float64(time.Second)))
+	return st, nil
+}
+
+// StoreNym archives a nym's state under the password: paused, synced,
+// sealed, then uploaded through the nym's own anonymizer (or written
+// to local media for Local). The nym keeps running afterwards.
+func (m *Manager) StoreNym(p *sim.Proc, n *Nym, password string, dest StoreDest) (int64, error) {
+	if n.terminated {
+		return 0, ErrNymTerminated
+	}
+	st, err := m.exportState(p, n)
+	if err != nil {
+		return 0, err
+	}
+	st.Cycles = n.cycles + 1
+	arch, err := m.sealArchive(p, st, password)
+	if err != nil {
+		return 0, err
+	}
+	if dest.Provider == "" {
+		data, err := arch.Encode()
+		if err != nil {
+			return 0, err
+		}
+		m.localStore[archiveBlobName(n.name)] = data
+		n.cycles++
+		return arch.WireSize, nil
+	}
+	pr, err := m.Provider(dest.Provider)
+	if err != nil {
+		return 0, err
+	}
+	if err := pr.CreateAccount(dest.Account, dest.AccountPassword); err != nil {
+		return 0, err
+	}
+	sess, err := cloud.Login(p, n.anon, pr, dest.Account, dest.AccountPassword)
+	if err != nil {
+		return 0, err
+	}
+	data, err := arch.Encode()
+	if err != nil {
+		return 0, err
+	}
+	if err := sess.Put(p, archiveBlobName(n.name), cloud.Blob{Data: data, WireSize: arch.WireSize}); err != nil {
+		return 0, err
+	}
+	n.cycles++
+	return arch.WireSize, nil
+}
+
+// LoadNym restores a stored nym. For cloud sources this follows the
+// paper's workflow exactly: a throwaway ephemeral nym is started just
+// to download the archive anonymously, then terminated; the real nym
+// then boots from the decrypted images. The ephemeral phase is
+// recorded in the result's StartPhases (Figure 7's "Ephemeral Nym"
+// bar).
+func (m *Manager) LoadNym(p *sim.Proc, name, password string, opts Options, src StoreDest) (*Nym, error) {
+	var raw []byte
+	var ephemeral time.Duration
+	if src.Provider == "" {
+		data, ok := m.localStore[archiveBlobName(name)]
+		if !ok {
+			return nil, fmt.Errorf("core: no local archive for %q", name)
+		}
+		raw = data
+	} else {
+		start := p.Now()
+		loader, err := m.StartNym(p, "loader-"+name, Options{
+			Model:      ModelEphemeral,
+			Anonymizer: loaderAnonymizer(opts),
+			GuardSeed:  opts.GuardSeed, // section 3.5: seeded guards close the loader hole
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: ephemeral loader: %w", err)
+		}
+		pr, err := m.Provider(src.Provider)
+		if err != nil {
+			m.TerminateNym(p, loader)
+			return nil, err
+		}
+		sess, err := cloud.Login(p, loader.Anonymizer(), pr, src.Account, src.AccountPassword)
+		if err != nil {
+			m.TerminateNym(p, loader)
+			return nil, err
+		}
+		blob, err := sess.Get(p, archiveBlobName(name))
+		if err != nil {
+			m.TerminateNym(p, loader)
+			return nil, err
+		}
+		if err := m.TerminateNym(p, loader); err != nil {
+			return nil, err
+		}
+		raw = blob.Data
+		ephemeral = p.Now() - start
+	}
+	arch, err := nymstate.DecodeArchive(raw)
+	if err != nil {
+		return nil, err
+	}
+	st, err := m.openArchive(p, arch, password, name)
+	if err != nil {
+		return nil, err
+	}
+	return m.startNym(p, name, opts, &restoredState{state: st, ephemeralPhase: ephemeral})
+}
+
+// loaderAnonymizer picks the throwaway loader's transport: the same
+// kind as the nym itself so traffic blends.
+func loaderAnonymizer(opts Options) string {
+	if len(opts.Chain) > 0 {
+		return opts.Chain[len(opts.Chain)-1]
+	}
+	if opts.Anonymizer == "" {
+		return "tor"
+	}
+	return opts.Anonymizer
+}
+
+// EndSession closes out a browsing session per the nym's usage model:
+// persistent nyms are re-archived (state accretes), pre-configured
+// nyms discard everything since their golden snapshot, and ephemeral
+// nyms just terminate. In every case the nymbox is destroyed.
+func (m *Manager) EndSession(p *sim.Proc, n *Nym, password string, dest StoreDest) error {
+	if n.model == ModelPersistent {
+		if _, err := m.StoreNym(p, n, password, dest); err != nil {
+			return err
+		}
+	}
+	return m.TerminateNym(p, n)
+}
+
+// LocalArchiveSize returns the stored wire size of a local archive.
+func (m *Manager) LocalArchiveSize(name string) (int64, bool) {
+	data, ok := m.localStore[archiveBlobName(name)]
+	if !ok {
+		return 0, false
+	}
+	arch, err := nymstate.DecodeArchive(data)
+	if err != nil {
+		return 0, false
+	}
+	return arch.WireSize, true
+}

@@ -1,0 +1,181 @@
+package cpusched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nymix/internal/sim"
+)
+
+func runTasks(t *testing.T, cfg Config, eff float64, work float64, n int) []time.Duration {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	h := NewHost(eng, cfg)
+	futs := make([]*sim.Future[TaskResult], n)
+	for i := 0; i < n; i++ {
+		futs[i] = h.Submit("t", work, eff)
+	}
+	eng.Run()
+	out := make([]time.Duration, n)
+	for i, f := range futs {
+		r, err := f.Value()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = r.Duration()
+	}
+	return out
+}
+
+func TestNativeSingleTask(t *testing.T) {
+	d := runTasks(t, DefaultConfig(), 1.0, 10, 1)
+	if math.Abs(d[0].Seconds()-10) > 0.01 {
+		t.Fatalf("duration = %v, want 10s", d[0])
+	}
+}
+
+func TestVirtualizationOverhead(t *testing.T) {
+	d := runTasks(t, DefaultConfig(), 0.8, 10, 1)
+	if math.Abs(d[0].Seconds()-12.5) > 0.01 {
+		t.Fatalf("duration = %v, want 12.5s (20%% overhead)", d[0])
+	}
+}
+
+func TestUpToCoreCountNoSlowdown(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		d := runTasks(t, DefaultConfig(), 1.0, 10, n)
+		for _, dur := range d {
+			if math.Abs(dur.Seconds()-10) > 0.01 {
+				t.Fatalf("n=%d: duration = %v, want 10s", n, dur)
+			}
+		}
+	}
+}
+
+func TestOversubscriptionWithSMTBonus(t *testing.T) {
+	// 8 tasks on 4 cores with SMT factor 1.3: chip throughput 5.2,
+	// per-task share 0.65 -> 10/0.65 ~ 15.38s.
+	d := runTasks(t, DefaultConfig(), 1.0, 10, 8)
+	want := 10 / 0.65
+	for _, dur := range d {
+		if math.Abs(dur.Seconds()-want) > 0.05 {
+			t.Fatalf("duration = %v, want %.2fs", dur, want)
+		}
+	}
+}
+
+func TestSMTBonusGrowsGradually(t *testing.T) {
+	// 5 tasks: throughput 4 + 1*0.3 = 4.3; share 0.86.
+	d := runTasks(t, DefaultConfig(), 1.0, 10, 5)
+	want := 10 / 0.86
+	if math.Abs(d[0].Seconds()-want) > 0.05 {
+		t.Fatalf("duration = %v, want %.2fs", d[0], want)
+	}
+}
+
+func TestStaggeredTasksRecompute(t *testing.T) {
+	eng := sim.NewEngine(1)
+	h := NewHost(eng, Config{Cores: 1, SMTFactor: 1})
+	f1 := h.Submit("a", 10, 1.0)
+	var f2 *sim.Future[TaskResult]
+	eng.Schedule(5*time.Second, func() { f2 = h.Submit("b", 5, 1.0) })
+	eng.Run()
+	r1, _ := f1.Value()
+	r2, _ := f2.Value()
+	// a: 5s alone + shares 1 core with b. a has 5 units left, b has 5;
+	// both at 0.5/s -> 10 more seconds. a ends at 15s, b at 15s.
+	if math.Abs(r1.Ended.Seconds()-15) > 0.05 {
+		t.Fatalf("a ended %v", r1.Ended)
+	}
+	if math.Abs(r2.Duration().Seconds()-10) > 0.05 {
+		t.Fatalf("b took %v", r2.Duration())
+	}
+}
+
+func TestChipThroughputShape(t *testing.T) {
+	h := NewHost(sim.NewEngine(1), DefaultConfig())
+	cases := []struct {
+		n    int
+		want float64
+	}{{0, 0}, {1, 1}, {4, 4}, {5, 4.3}, {6, 4.6}, {8, 5.2}, {16, 5.2}}
+	for _, c := range cases {
+		if got := h.chipThroughput(c.n); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("throughput(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestDegenerateConfigsClamped(t *testing.T) {
+	h := NewHost(sim.NewEngine(1), Config{Cores: 0, SMTFactor: 0.5})
+	if h.Config().Cores != 1 || h.Config().SMTFactor != 1 {
+		t.Fatalf("config not clamped: %+v", h.Config())
+	}
+}
+
+// Property: total work completed per unit time never exceeds chip
+// throughput, and all submitted work completes.
+func TestPropertyWorkConserved(t *testing.T) {
+	f := func(works []uint8) bool {
+		if len(works) == 0 || len(works) > 16 {
+			return true
+		}
+		eng := sim.NewEngine(5)
+		h := NewHost(eng, DefaultConfig())
+		var futs []*sim.Future[TaskResult]
+		var total float64
+		for _, w := range works {
+			work := float64(w%50) + 1
+			total += work
+			futs = append(futs, h.Submit("t", work, 1.0))
+		}
+		eng.Run()
+		var maxEnd sim.Time
+		for _, f := range futs {
+			r, err := f.Value()
+			if err != nil {
+				return false
+			}
+			if r.Ended > maxEnd {
+				maxEnd = r.Ended
+			}
+		}
+		// Chip peak throughput is 5.2 core-units.
+		return total/maxEnd.Seconds() <= 5.2*1.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: equal tasks submitted together finish together.
+func TestPropertyEqualTasksFinishTogether(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n)%10 + 1
+		eng := sim.NewEngine(2)
+		h := NewHost(eng, DefaultConfig())
+		var futs []*sim.Future[TaskResult]
+		for i := 0; i < count; i++ {
+			futs = append(futs, h.Submit("t", 7, 0.8))
+		}
+		eng.Run()
+		var first, last time.Duration
+		for i, f := range futs {
+			r, _ := f.Value()
+			if i == 0 {
+				first, last = r.Duration(), r.Duration()
+			}
+			if r.Duration() < first {
+				first = r.Duration()
+			}
+			if r.Duration() > last {
+				last = r.Duration()
+			}
+		}
+		return last-first < 10*time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

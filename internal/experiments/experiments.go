@@ -1,0 +1,60 @@
+// Package experiments regenerates every table and figure in the
+// paper's evaluation (section 5), plus the validation of section 5.1
+// and ablations for the design choices discussed in sections 3.5 and
+// 7. Each generator builds a fresh deterministic world from a seed
+// and returns typed rows; Render* helpers print them in the paper's
+// layout. cmd/nymbench is the CLI front end and bench_test.go wraps
+// each generator in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nymix/internal/core"
+	"nymix/internal/hypervisor"
+	"nymix/internal/sim"
+	"nymix/internal/webworld"
+)
+
+// newRig builds the standard evaluation setup: the default world and
+// a Nymix host with the paper's 16 GB / quad-core configuration.
+func newRig(seed uint64) (*sim.Engine, *webworld.World, *core.Manager, error) {
+	eng := sim.NewEngine(seed)
+	_, world := webworld.BuildDefault(eng)
+	mgr, err := core.NewManager(eng, world, hypervisor.DefaultConfig())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return eng, world, mgr, nil
+}
+
+// runProc executes fn as a simulated process, drains the engine, and
+// returns fn's error.
+func runProc(eng *sim.Engine, name string, fn func(p *sim.Proc) error) error {
+	var err error
+	eng.Go(name, func(p *sim.Proc) { err = fn(p) })
+	eng.Run()
+	return err
+}
+
+// table is a tiny fixed-width renderer for paper-style output.
+type table struct {
+	b strings.Builder
+}
+
+func (t *table) row(cells ...string) {
+	for i, c := range cells {
+		if i > 0 {
+			t.b.WriteString("  ")
+		}
+		fmt.Fprintf(&t.b, "%-14s", c)
+	}
+	t.b.WriteByte('\n')
+}
+
+func (t *table) String() string { return t.b.String() }
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }

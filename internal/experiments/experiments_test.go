@@ -1,0 +1,398 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nymix/internal/core"
+)
+
+// The tests here assert the DESIGN.md shape criteria: the qualitative
+// claims each paper figure makes must hold in the reproduction.
+
+func TestFigure3Shape(t *testing.T) {
+	rows, err := Figure3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Slope: marginal cost per nymbox lands near the ~600 MB claim.
+	slope := (rows[7].UsedAfterMB - rows[0].UsedAfterMB) / 7
+	if slope < 450 || slope > 700 {
+		t.Fatalf("per-nymbox slope = %.0f MB, want ~600", slope)
+	}
+	// Used memory stays at or below the expected dashed line (KSM can
+	// only help).
+	for _, r := range rows {
+		if r.UsedAfterMB > r.ExpectedMB*1.02 {
+			t.Fatalf("nyms=%d used %.0f exceeds expected %.0f", r.Nyms, r.UsedAfterMB, r.ExpectedMB)
+		}
+	}
+	// Shared pages grow monotonically with more identical VMs.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SharedAfter < rows[i-1].SharedAfter {
+			t.Fatalf("shared pages shrank at %d nyms", rows[i].Nyms)
+		}
+	}
+	// "KSM manages to reduce overall memory usage resulting in over 5%
+	// saving at 8 nyms."
+	last := rows[7]
+	saving := last.SavedMB / (last.UsedAfterMB + last.SavedMB)
+	if saving < 0.05 {
+		t.Fatalf("KSM saving at 8 nyms = %.1f%%, want > 5%%", 100*saving)
+	}
+	// Most memory is claimed at initialization, not during interaction.
+	for _, r := range rows {
+		init := r.UsedBeforeMB
+		growth := r.UsedAfterMB - r.UsedBeforeMB
+		if growth > init {
+			t.Fatalf("nyms=%d interaction growth %.0f exceeds init %.0f", r.Nyms, growth, init)
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	rows, err := Figure4(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	native := rows[0].Accumulated
+	single := rows[1].Accumulated
+	// ~20% virtualization overhead.
+	overhead := 1 - single/native
+	if overhead < 0.15 || overhead > 0.25 {
+		t.Fatalf("virtualization overhead = %.1f%%, want ~20%%", 100*overhead)
+	}
+	// Accumulated throughput is non-decreasing in k.
+	for k := 2; k <= 8; k++ {
+		if rows[k].Accumulated < rows[k-1].Accumulated*0.99 {
+			t.Fatalf("accumulated fell at k=%d", k)
+		}
+	}
+	// Beyond the core count, actual outperforms the no-SMT expectation.
+	for k := 5; k <= 8; k++ {
+		if rows[k].Accumulated <= rows[k].Expected {
+			t.Fatalf("k=%d: actual %.0f <= expected %.0f (SMT bonus missing)",
+				k, rows[k].Accumulated, rows[k].Expected)
+		}
+	}
+	// Within the core count, actual tracks expected.
+	for k := 1; k <= 4; k++ {
+		if math.Abs(rows[k].Accumulated-rows[k].Expected)/rows[k].Expected > 0.05 {
+			t.Fatalf("k=%d: actual %.0f deviates from expected %.0f",
+				k, rows[k].Accumulated, rows[k].Expected)
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	rows, err := Figure5(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Fixed Tor overhead ~12%.
+	oh := TorFixedOverhead(rows)
+	if oh < 0.10 || oh > 0.20 {
+		t.Fatalf("Tor overhead = %.1f%%, want ~12%%", 100*oh)
+	}
+	// Near-linear scaling: actual within 15% of ideal at every k.
+	for _, r := range rows {
+		if math.Abs(r.ActualSec-r.IdealSec)/r.IdealSec > 0.15 {
+			t.Fatalf("k=%d: actual %.0fs vs ideal %.0fs", r.Nyms, r.ActualSec, r.IdealSec)
+		}
+	}
+	// Actual is never faster than ideal (shared bottleneck).
+	for _, r := range rows[1:] {
+		if r.ActualSec < r.IdealSec*0.98 {
+			t.Fatalf("k=%d beat the ideal: %.0f < %.0f", r.Nyms, r.ActualSec, r.IdealSec)
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	series, err := Figure6(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	bySite := map[string]Figure6Series{}
+	for _, s := range series {
+		if len(s.SizesMB) != 10 {
+			t.Fatalf("%s has %d cycles", s.Site, len(s.SizesMB))
+		}
+		bySite[s.Site] = s
+		// Monotone growth for persistent nyms.
+		for c := 1; c < len(s.SizesMB); c++ {
+			if s.SizesMB[c] < s.SizesMB[c-1]*0.99 {
+				t.Fatalf("%s shrank at cycle %d", s.Site, c+1)
+			}
+		}
+		// AnonVM dominates the archive (~85% in the paper).
+		if s.AnonShare < 0.7 {
+			t.Fatalf("%s AnonVM share = %.0f%%, want dominant", s.Site, 100*s.AnonShare)
+		}
+		// Sizes plot within the figure's 0-60 MB axis.
+		final := s.SizesMB[9]
+		if final <= 0 || final > 60 {
+			t.Fatalf("%s final size = %.1f MB", s.Site, final)
+		}
+	}
+	// Site ordering: Facebook heaviest, Tor Blog lightest.
+	if !(bySite["facebook.com"].SizesMB[9] > bySite["gmail.com"].SizesMB[9]) {
+		t.Fatal("facebook should out-grow gmail")
+	}
+	if !(bySite["twitter.com"].SizesMB[9] > bySite["blog.torproject.org"].SizesMB[9]) {
+		t.Fatal("twitter should out-grow the tor blog")
+	}
+	// First save is the smallest — "a single save cycle represents
+	// usage similar to a pre-configured nym, which tends to be small";
+	// heavy sites grow substantially past it.
+	for _, s := range series {
+		if s.SizesMB[0] >= s.SizesMB[9]*0.85 {
+			t.Fatalf("%s first save %.1f not smaller than final %.1f", s.Site, s.SizesMB[0], s.SizesMB[9])
+		}
+	}
+	if fb := bySite["facebook.com"]; fb.SizesMB[0] > fb.SizesMB[9]/2 {
+		t.Fatalf("facebook first save %.1f should be under half of final %.1f", fb.SizesMB[0], fb.SizesMB[9])
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	rows, err := Figure7(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byConfig := map[string]Figure7Row{}
+	for _, r := range rows {
+		byConfig[r.Config] = r
+	}
+	fresh, pre, per := byConfig["fresh"], byConfig["pre-configured"], byConfig["persisted"]
+	// Quasi-persistent nyms outperform ephemeral on Tor startup thanks
+	// to stored guard + consensus state.
+	if pre.StartTor >= fresh.StartTor {
+		t.Fatalf("pre-configured Tor start %v !< fresh %v", pre.StartTor, fresh.StartTor)
+	}
+	if per.StartTor >= fresh.StartTor {
+		t.Fatalf("persisted Tor start %v !< fresh %v", per.StartTor, fresh.StartTor)
+	}
+	// But they pay for the one-time ephemeral download nym.
+	if pre.EphemeralNym <= 0 || per.EphemeralNym <= 0 {
+		t.Fatal("quasi-persistent configs missing the ephemeral phase")
+	}
+	if fresh.EphemeralNym != 0 {
+		t.Fatal("fresh config has an ephemeral phase")
+	}
+	// Abstract: nymboxes load within 15-25 seconds (fresh total).
+	if total := fresh.Total().Seconds(); total < 15 || total > 25 {
+		t.Fatalf("fresh total = %.1fs, want 15-25s", total)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := map[string][3]float64{
+		"Windows Vista": {133.7, 37.7, 4.9},
+		"Windows 7":     {129.3, 34.3, 4.5},
+		"Windows 8":     {157.0, 58.7, 14},
+	}
+	for _, r := range rows {
+		w, ok := want[r.Version]
+		if !ok {
+			t.Fatalf("unexpected version %q", r.Version)
+		}
+		if math.Abs(r.RepairS-w[0])/w[0] > 0.10 {
+			t.Errorf("%s repair %.1f vs paper %.1f", r.Version, r.RepairS, w[0])
+		}
+		if math.Abs(r.BootS-w[1])/w[1] > 0.10 {
+			t.Errorf("%s boot %.1f vs paper %.1f", r.Version, r.BootS, w[1])
+		}
+		if math.Abs(r.SizeMB-w[2])/w[2] > 0.20 {
+			t.Errorf("%s size %.1f vs paper %.1f", r.Version, r.SizeMB, w[2])
+		}
+	}
+}
+
+func TestValidationPasses(t *testing.T) {
+	report, err := Validation(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Passed() {
+		t.Fatalf("validation failed:\n%s", RenderValidation(report))
+	}
+	for _, proto := range report.UplinkProtos {
+		if proto != "dhcp" && proto != "tor" {
+			t.Fatalf("uplink protocols = %v", report.UplinkProtos)
+		}
+	}
+}
+
+func TestAblationGuardExposureShape(t *testing.T) {
+	rows := AblationGuardExposure(8, 0.05)
+	for _, r := range rows {
+		if r.Persistent != 0.05 {
+			t.Fatalf("persistent exposure = %v", r.Persistent)
+		}
+		if r.Sessions > 1 && r.Rotating <= r.Persistent {
+			t.Fatalf("sessions=%d rotating %v !> persistent %v", r.Sessions, r.Rotating, r.Persistent)
+		}
+		if math.Abs(r.MonteCarlo-r.Rotating) > 0.03 {
+			t.Fatalf("MC %v deviates from analytic %v", r.MonteCarlo, r.Rotating)
+		}
+	}
+}
+
+func TestAblationStainingShape(t *testing.T) {
+	rows, err := AblationStaining(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byModel := map[core.UsageModel]StainRow{}
+	for _, r := range rows {
+		byModel[r.Model] = r
+	}
+	if byModel[core.ModelEphemeral].StainSurvives {
+		t.Fatal("stain survived an ephemeral nym")
+	}
+	if byModel[core.ModelPreconfigured].StainSurvives {
+		t.Fatal("stain survived the pre-configured golden snapshot")
+	}
+	if !byModel[core.ModelPersistent].StainSurvives {
+		t.Fatal("stain should survive in persistent mode")
+	}
+	if !byModel[core.ModelPersistent].SessionsLinked {
+		t.Fatal("persistent stained sessions should be linkable")
+	}
+	if byModel[core.ModelEphemeral].SessionsLinked {
+		t.Fatal("ephemeral sessions linked")
+	}
+}
+
+func TestAblationLinkageShape(t *testing.T) {
+	rows, err := AblationLinkage(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		switch r.Strategy {
+		case "nymix-per-role-nyms":
+			if r.LargestCluster != 1 {
+				t.Fatalf("nymix roles linked: cluster %d", r.LargestCluster)
+			}
+		case "single-browser-baseline":
+			if r.LargestCluster < 3 {
+				t.Fatalf("baseline roles not linked: cluster %d", r.LargestCluster)
+			}
+		}
+	}
+}
+
+func TestAblationBuddiesShape(t *testing.T) {
+	const floor = 4
+	rows := AblationBuddies(11, floor, 12)
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	suppressedAny := false
+	for i, r := range rows {
+		// The gated set never falls below the floor.
+		if r.GatedCandidates != 0 && r.GatedCandidates < floor {
+			t.Fatalf("round %d: gated set %d < floor", r.Round, r.GatedCandidates)
+		}
+		// Both sets are non-increasing.
+		if i > 0 {
+			if r.UngatedCandidates > rows[i-1].UngatedCandidates {
+				t.Fatalf("ungated set grew at round %d", r.Round)
+			}
+			if r.GatedCandidates > rows[i-1].GatedCandidates {
+				t.Fatalf("gated set grew at round %d", r.Round)
+			}
+		}
+		suppressedAny = suppressedAny || r.GatedSuppressed
+	}
+	last := rows[len(rows)-1]
+	// Without Buddies the victim ends up nearly identified; with it the
+	// floor holds and some posts were suppressed to pay for it.
+	if last.UngatedCandidates >= floor {
+		t.Fatalf("ungated set = %d, expected collapse below %d", last.UngatedCandidates, floor)
+	}
+	if last.GatedCandidates < floor {
+		t.Fatalf("gated set = %d", last.GatedCandidates)
+	}
+	if !suppressedAny {
+		t.Fatal("no posts suppressed despite shrinking population")
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// The whole stack is a deterministic simulation: identical seeds
+	// must reproduce identical results, bit for bit.
+	a, err := Figure5(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure5(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Seed sensitivity: Table 1 carries measurement jitter, so distinct
+	// seeds must differ. (Figure 5 is legitimately seed-insensitive:
+	// fluid rates have no randomness.)
+	t1a, err := Table1(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1b, err := Table1(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range t1a {
+		if t1a[i] != t1b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical Table 1 — jitter is dead")
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	f3, _ := Figure3(1)
+	t1, _ := Table1(6)
+	v, _ := Validation(7)
+	for name, out := range map[string]string{
+		"fig3":  RenderFigure3(f3),
+		"tab1":  RenderTable1(t1),
+		"valid": RenderValidation(v),
+	} {
+		if !strings.Contains(out, "#") || len(out) < 50 {
+			t.Fatalf("%s render too small:\n%s", name, out)
+		}
+	}
+}

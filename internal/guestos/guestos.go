@@ -1,0 +1,179 @@
+// Package guestos constructs the disk images Nymix boots its VMs
+// from. The key trick (paper section 3.4): the OS image installed on
+// the Nymix USB serves simultaneously as the host OS and as the base
+// image for every AnonVM and CommVM. A small read-only configuration
+// layer — network settings, /etc/rc.local, the window-manager startup
+// script — differentiates the roles, and a RAM-backed writable layer
+// absorbs all session writes.
+//
+// The package also carries each role's memory and boot profile: how
+// many pages a freshly booted guest touches (split into KSM-mergeable
+// base-image/zero content and private unique content) and how long its
+// boot phases take. These calibrate Figures 3 and 7.
+package guestos
+
+import (
+	"fmt"
+	"time"
+
+	"nymix/internal/unionfs"
+)
+
+// Role identifies what a VM is for.
+type Role string
+
+// The VM roles of the Nymix architecture.
+const (
+	RoleHypervisor Role = "hypervisor"
+	RoleAnonVM     Role = "anonvm"
+	RoleCommVM     Role = "commvm"
+	RoleSaniVM     Role = "sanivm"
+)
+
+// MiB is 2^20 bytes.
+const MiB = 1 << 20
+
+// BuildBaseImage returns the sealed base image shared by the
+// hypervisor and every VM: an Ubuntu 14.04-like system with the
+// Chromium browser (chosen for StegoTorus support, section 4) and the
+// pluggable anonymizers preinstalled.
+func BuildBaseImage() *unionfs.Layer {
+	l := unionfs.NewLayer("base-image")
+	fs, err := unionfs.Stack(l)
+	if err != nil {
+		panic(err)
+	}
+	type entry struct {
+		path    string
+		size    int64
+		entropy float64
+	}
+	entries := []entry{
+		{"/boot/vmlinuz", 12 * MiB, 0.95},
+		{"/boot/initrd.img", 28 * MiB, 0.97},
+		{"/bin/core-utils", 45 * MiB, 0.75},
+		{"/lib/system-libs", 310 * MiB, 0.8},
+		{"/usr/bin/chromium", 165 * MiB, 0.85},
+		{"/usr/bin/tor", 28 * MiB, 0.8},
+		{"/usr/bin/dissent", 16 * MiB, 0.8},
+		{"/usr/bin/sweet", 9 * MiB, 0.8},
+		{"/usr/bin/mat", 11 * MiB, 0.7},
+		{"/usr/lib/opencv", 64 * MiB, 0.85},
+		{"/usr/share/x11", 140 * MiB, 0.8},
+		{"/usr/share/fonts", 55 * MiB, 0.9},
+		{"/usr/share/locale", 38 * MiB, 0.6},
+		{"/var/lib/dpkg", 24 * MiB, 0.5},
+	}
+	for _, e := range entries {
+		if err := fs.WriteVirtual(e.path, e.size, e.entropy); err != nil {
+			panic(err)
+		}
+	}
+	// Real config files the role layers will mask.
+	fs.WriteFile("/etc/hostname", []byte("nymix"))
+	fs.WriteFile("/etc/rc.local", []byte("#!/bin/sh\n# base image: start nothing\nexit 0\n"))
+	fs.WriteFile("/etc/network/interfaces", []byte("auto lo\niface lo inet loopback\n"))
+	fs.WriteFile("/etc/xdg/autostart", []byte("# no autostart in base\n"))
+	fs.WriteFile("/etc/resolution", []byte("1024x768\n")) // homogeneous fingerprint, section 4.2
+	return l.Seal()
+}
+
+// ConfigLayer returns the sealed configuration layer that turns the
+// base image into the given role. The anonymizer name selects which
+// CommVM variant to build ("tor", "dissent", "incognito").
+func ConfigLayer(role Role, anonymizer string) *unionfs.Layer {
+	name := fmt.Sprintf("conf-%s", role)
+	if role == RoleCommVM {
+		name = fmt.Sprintf("conf-%s-%s", role, anonymizer)
+	}
+	l := unionfs.NewLayer(name)
+	fs, err := unionfs.Stack(l)
+	if err != nil {
+		panic(err)
+	}
+	switch role {
+	case RoleAnonVM:
+		fs.WriteFile("/etc/rc.local", []byte("#!/bin/sh\nconfigure-wire eth0 commvm\nexit 0\n"))
+		fs.WriteFile("/etc/network/interfaces", []byte("auto eth0\niface eth0 inet static # virtual wire to CommVM\n"))
+		fs.WriteFile("/etc/xdg/autostart", []byte("exec chromium --proxy-server=socks5://commvm:9050\n"))
+	case RoleCommVM:
+		fs.WriteFile("/etc/rc.local", []byte(fmt.Sprintf("#!/bin/sh\nstart-anonymizer %s\nexit 0\n", anonymizer)))
+		fs.WriteFile("/etc/network/interfaces", []byte("auto eth0 eth1\n# eth0: virtual wire; eth1: KVM user-mode NAT\n"))
+		fs.WriteFile("/etc/anonymizer", []byte(anonymizer+"\n"))
+	case RoleSaniVM:
+		fs.WriteFile("/etc/rc.local", []byte("#!/bin/sh\nmount-foreign-filesystems readonly\nstart-scrub-watcher\nexit 0\n"))
+		fs.WriteFile("/etc/network/interfaces", []byte("# SaniVM is non-networked\n"))
+	case RoleHypervisor:
+		fs.WriteFile("/etc/rc.local", []byte("#!/bin/sh\nstart-nym-manager\nexit 0\n"))
+	default:
+		panic(fmt.Sprintf("guestos: unknown role %q", role))
+	}
+	return l.Seal()
+}
+
+// MemProfile describes a guest's resident-set behaviour in pages.
+// Shared pages carry base-image content identical across VMs of the
+// same role (KSM-mergeable); zero pages merge host-wide; unique pages
+// never merge. Calibrated so eight nymboxes land near the paper's
+// Figure 3: roughly 600 MB per nymbox with a >5% KSM saving.
+type MemProfile struct {
+	BootSharedPages int64   // resident base-image pages after boot
+	BootZeroPages   int64   // zeroed free-list pages touched at init
+	BootUniqueFrac  float64 // fraction of remaining RAM touched with unique content at init
+	ActiveExtraFrac float64 // additional unique fraction dirtied by interaction
+}
+
+// MemProfileFor returns the role's memory profile.
+func MemProfileFor(role Role) MemProfile {
+	switch role {
+	case RoleAnonVM:
+		return MemProfile{
+			BootSharedPages: 6400, // ~25 MiB of shared base-image pages
+			BootZeroPages:   2048, // ~8 MiB zero pool
+			BootUniqueFrac:  0.86,
+			ActiveExtraFrac: 0.12,
+		}
+	case RoleCommVM:
+		return MemProfile{
+			BootSharedPages: 3100, // ~12 MiB
+			BootZeroPages:   1024,
+			BootUniqueFrac:  0.88,
+			ActiveExtraFrac: 0.08,
+		}
+	case RoleSaniVM:
+		return MemProfile{
+			BootSharedPages: 4200,
+			BootZeroPages:   1024,
+			BootUniqueFrac:  0.55,
+			ActiveExtraFrac: 0.10,
+		}
+	default: // hypervisor or installed OS
+		return MemProfile{
+			BootSharedPages: 9000,
+			BootZeroPages:   4096,
+			BootUniqueFrac:  0.5,
+			ActiveExtraFrac: 0.1,
+		}
+	}
+}
+
+// BootProfile describes a guest's boot-time behaviour.
+type BootProfile struct {
+	Base   time.Duration // mean boot duration
+	Jitter float64       // relative spread
+}
+
+// BootProfileFor returns the role's boot profile. The AnonVM is the
+// "Boot VM" phase of Figure 7.
+func BootProfileFor(role Role) BootProfile {
+	switch role {
+	case RoleAnonVM:
+		return BootProfile{Base: 10 * time.Second, Jitter: 0.08}
+	case RoleCommVM:
+		return BootProfile{Base: 6 * time.Second, Jitter: 0.08}
+	case RoleSaniVM:
+		return BootProfile{Base: 8 * time.Second, Jitter: 0.08}
+	default:
+		return BootProfile{Base: 20 * time.Second, Jitter: 0.1}
+	}
+}

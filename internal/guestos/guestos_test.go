@@ -1,0 +1,99 @@
+package guestos
+
+import (
+	"strings"
+	"testing"
+
+	"nymix/internal/unionfs"
+)
+
+func TestBaseImageSealedAndPopulated(t *testing.T) {
+	base := BuildBaseImage()
+	if !base.Sealed() {
+		t.Fatal("base image not sealed")
+	}
+	fs, err := unionfs.Stack(unionfs.NewLayer("top"), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/usr/bin/chromium", "/usr/bin/tor", "/usr/bin/dissent", "/etc/rc.local"} {
+		if !fs.Exists(p) {
+			t.Fatalf("base image missing %s", p)
+		}
+	}
+	// A realistic live-USB image runs to at least a gigabyte.
+	if total := fs.TotalSize("/"); total < 800*MiB {
+		t.Fatalf("base image only %d bytes", total)
+	}
+}
+
+func TestConfigLayersMaskRoleFiles(t *testing.T) {
+	base := BuildBaseImage()
+	for _, tc := range []struct {
+		role Role
+		anon string
+		want string
+	}{
+		{RoleAnonVM, "", "configure-wire"},
+		{RoleCommVM, "tor", "start-anonymizer tor"},
+		{RoleCommVM, "dissent", "start-anonymizer dissent"},
+		{RoleSaniVM, "", "mount-foreign-filesystems"},
+		{RoleHypervisor, "", "start-nym-manager"},
+	} {
+		conf := ConfigLayer(tc.role, tc.anon)
+		if !conf.Sealed() {
+			t.Fatalf("%s config layer not sealed", tc.role)
+		}
+		fs, err := unionfs.Stack(unionfs.NewLayer("top"), conf, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := fs.ReadFile("/etc/rc.local")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(rc), tc.want) {
+			t.Fatalf("%s rc.local = %q, want %q", tc.role, rc, tc.want)
+		}
+	}
+}
+
+func TestCommVMVariantsDiffer(t *testing.T) {
+	tor := ConfigLayer(RoleCommVM, "tor")
+	dis := ConfigLayer(RoleCommVM, "dissent")
+	if tor.Name() == dis.Name() {
+		t.Fatal("anonymizer variants share a layer name")
+	}
+}
+
+func TestUnknownRolePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ConfigLayer(Role("bogus"), "")
+}
+
+func TestMemProfilesReasonable(t *testing.T) {
+	for _, role := range []Role{RoleAnonVM, RoleCommVM, RoleSaniVM, RoleHypervisor} {
+		p := MemProfileFor(role)
+		if p.BootSharedPages <= 0 || p.BootZeroPages < 0 {
+			t.Fatalf("%s: bad page counts %+v", role, p)
+		}
+		if p.BootUniqueFrac <= 0 || p.BootUniqueFrac > 1 {
+			t.Fatalf("%s: bad unique frac %+v", role, p)
+		}
+		if p.ActiveExtraFrac < 0 || p.BootUniqueFrac+p.ActiveExtraFrac > 1 {
+			t.Fatalf("%s: fractions exceed RAM %+v", role, p)
+		}
+	}
+}
+
+func TestBootProfilesOrdered(t *testing.T) {
+	// The CommVM is a minimal system and must boot faster than the
+	// browser-laden AnonVM.
+	if BootProfileFor(RoleCommVM).Base >= BootProfileFor(RoleAnonVM).Base {
+		t.Fatal("CommVM should boot faster than AnonVM")
+	}
+}

@@ -1,0 +1,207 @@
+// Package installedos models booting the machine's installed OS as a
+// (non-anonymous) nym (paper section 3.7): the physical disk is
+// treated read-only, the OS boots into a copy-on-write virtual disk,
+// and — for Windows — a repair pass first reconciles the driver stack
+// with the virtual hardware ("booting in a VM a Windows instance
+// installed on the bare metal can trigger device driver complaints...
+// a standard repair process typically addresses this").
+//
+// Table 1 measures this pipeline for Windows Vista, 7, and 8: repair
+// time, boot time, and the size of the COW delta the session leaves in
+// RAM.
+package installedos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nymix/internal/sim"
+	"nymix/internal/unionfs"
+	"nymix/internal/vdisk"
+)
+
+// Version describes an installed operating system.
+type Version struct {
+	Name string
+	// Windows repair model parameters.
+	NeedsRepair   bool
+	DriverCount   int     // devices whose drivers the repair pass reconfigures
+	RegistryMB    float64 // registry hives scanned during repair
+	BootServices  int     // services started at boot
+	DriverWriteKB float64 // COW KB written per reconfigured driver
+	RegDeltaMB    float64 // registry delta written by repair + boot
+}
+
+// The versions of Table 1, with a Linux entry ("Linux usually boots
+// without issue").
+var (
+	WindowsVista = Version{
+		Name: "Windows Vista", NeedsRepair: true,
+		DriverCount: 310, RegistryMB: 210, BootServices: 119,
+		DriverWriteKB: 12.2, RegDeltaMB: 1.2,
+	}
+	Windows7 = Version{
+		Name: "Windows 7", NeedsRepair: true,
+		DriverCount: 295, RegistryMB: 215, BootServices: 105,
+		DriverWriteKB: 12.2, RegDeltaMB: 1.0,
+	}
+	Windows8 = Version{
+		Name: "Windows 8", NeedsRepair: true,
+		DriverCount: 340, RegistryMB: 298, BootServices: 203,
+		DriverWriteKB: 30.7, RegDeltaMB: 3.8,
+	}
+	UbuntuLinux = Version{
+		Name: "Ubuntu Linux", NeedsRepair: false,
+		DriverCount: 0, RegistryMB: 0, BootServices: 60,
+		DriverWriteKB: 0, RegDeltaMB: 0.4,
+	}
+)
+
+// Repair/boot cost coefficients, calibrated against Table 1.
+const (
+	secPerDriver     = 0.33  // driver scan + reconfigure
+	secPerRegistryMB = 0.148 // registry hive pass
+	secPerService    = 0.25  // service start during boot
+	bootBase         = 8.0   // kernel + HAL bring-up seconds
+)
+
+// Errors.
+var (
+	ErrNeedsRepair  = errors.New("installedos: OS must be repaired before booting in a VM")
+	ErrInconsistent = errors.New("installedos: COW delta no longer matches the underlying disk")
+)
+
+// Image is an installed OS treated as a nym: a sealed physical disk
+// with a RAM-backed COW overlay.
+type Image struct {
+	version  Version
+	disk     *vdisk.Disk
+	repaired bool
+	booted   bool
+	// diskGeneration models the underlying physical disk changing
+	// outside Nymix; a stale COW delta against a newer generation is
+	// inconsistent (section 3.7).
+	diskGeneration int
+	cowGeneration  int
+}
+
+// NewImage builds the installed OS's physical disk (sealed) plus a
+// fresh COW overlay. User files are included so the SaniVM has
+// something to transfer.
+func NewImage(v Version, userFiles map[string][]byte) (*Image, error) {
+	base := unionfs.NewLayer("physical:" + v.Name)
+	fs, err := unionfs.Stack(base)
+	if err != nil {
+		return nil, err
+	}
+	fs.WriteVirtual("/windows/system32", 6<<30, 0.8)
+	fs.WriteVirtual("/windows/drivers", int64(v.DriverCount)*900<<10, 0.85)
+	fs.WriteVirtual("/windows/registry", int64(v.RegistryMB)<<20, 0.6)
+	fs.WriteFile("/windows/version", []byte(v.Name))
+	for path, data := range userFiles {
+		if err := fs.WriteFile(path, data); err != nil {
+			return nil, err
+		}
+	}
+	disk, err := vdisk.New("installed-"+v.Name, 0, base.Seal())
+	if err != nil {
+		return nil, err
+	}
+	return &Image{version: v, disk: disk}, nil
+}
+
+// Version returns the OS version.
+func (img *Image) Version() Version { return img.version }
+
+// Disk exposes the COW-backed disk (reads see the physical contents).
+func (img *Image) Disk() *vdisk.Disk { return img.disk }
+
+// Repaired reports whether the VM repair pass has run.
+func (img *Image) Repaired() bool { return img.repaired }
+
+// Repair runs the driver/HAL reconciliation pass, writing its changes
+// into the COW overlay. It returns the elapsed (simulated) time.
+func (img *Image) Repair(p *sim.Proc) (time.Duration, error) {
+	v := img.version
+	if !v.NeedsRepair {
+		return 0, nil
+	}
+	dur := float64(v.DriverCount)*secPerDriver + v.RegistryMB*secPerRegistryMB
+	elapsed := sim.Time(p.Rand().Jitter(dur, 0.02) * float64(time.Second))
+	p.Sleep(elapsed)
+	writes := int64(float64(v.DriverCount)*v.DriverWriteKB) << 10
+	if err := img.disk.WriteVirtual("/windows/cow/driver-store", writes, 0.8); err != nil {
+		return 0, err
+	}
+	if err := img.disk.WriteVirtual("/windows/cow/registry-delta", int64(v.RegDeltaMB*0.7*float64(1<<20)), 0.55); err != nil {
+		return 0, err
+	}
+	img.repaired = true
+	img.cowGeneration = img.diskGeneration
+	return elapsed, nil
+}
+
+// Boot starts the repaired OS in a VM, returning boot time. All boot
+// writes land in the COW overlay; the physical disk stays pristine.
+func (img *Image) Boot(p *sim.Proc) (time.Duration, error) {
+	if img.version.NeedsRepair && !img.repaired {
+		return 0, fmt.Errorf("%w: %s", ErrNeedsRepair, img.version.Name)
+	}
+	if img.cowGeneration != img.diskGeneration {
+		return 0, fmt.Errorf("%w: %s", ErrInconsistent, img.version.Name)
+	}
+	dur := bootBase + float64(img.version.BootServices)*secPerService
+	elapsed := sim.Time(p.Rand().Jitter(dur, 0.03) * float64(time.Second))
+	p.Sleep(elapsed)
+	if err := img.disk.WriteVirtual("/windows/cow/boot-logs", int64(img.version.RegDeltaMB*0.3*float64(1<<20)), 0.4); err != nil {
+		return 0, err
+	}
+	img.booted = true
+	return elapsed, nil
+}
+
+// COWBytes returns the session's copy-on-write delta — Table 1's
+// "Size (MB)" column.
+func (img *Image) COWBytes() int64 { return img.disk.Used() }
+
+// DiscardSession throws the COW delta away: "no changes the installed
+// OS makes while running under Nymix ever persist on the physical
+// disk" — so the bare-metal OS needs no re-repair afterwards.
+func (img *Image) DiscardSession() {
+	img.disk.Discard()
+	img.repaired = false
+	img.booted = false
+}
+
+// SnapshotCOW exports the COW delta as quasi-persistent data, so the
+// repair survives across Nymix sessions.
+func (img *Image) SnapshotCOW() unionfs.Image { return img.disk.Snapshot() }
+
+// RestoreCOW reloads a previously saved delta. If the physical disk
+// changed in between, the delta is inconsistent and rejected
+// (section 3.7: "attempting to use the quasi-persistent COW disk
+// after the underlying disk has changed can lead to inconsistency or
+// corruption").
+func (img *Image) RestoreCOW(cow unionfs.Image, generation int) error {
+	if generation != img.diskGeneration {
+		return fmt.Errorf("%w: snapshot generation %d, disk %d", ErrInconsistent, generation, img.diskGeneration)
+	}
+	if err := img.disk.Restore(cow); err != nil {
+		return err
+	}
+	img.repaired = true
+	img.cowGeneration = img.diskGeneration
+	return nil
+}
+
+// Generation returns the physical disk's current generation stamp.
+func (img *Image) Generation() int { return img.diskGeneration }
+
+// MutatePhysicalDisk models the user booting the installed OS on bare
+// metal (outside Nymix) and changing it — which invalidates any saved
+// COW delta and, for Windows, undoes the VM repair.
+func (img *Image) MutatePhysicalDisk() {
+	img.diskGeneration++
+	img.repaired = false
+}

@@ -1,0 +1,177 @@
+package installedos
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"nymix/internal/sim"
+)
+
+func runOne(t *testing.T, v Version) (repair, boot time.Duration, cowMB float64) {
+	t.Helper()
+	eng := sim.NewEngine(41)
+	img, err := NewImage(v, map[string][]byte{"/users/bob/photo.jpg": []byte("jpegdata")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Go("t", func(p *sim.Proc) {
+		var err error
+		repair, err = img.Repair(p)
+		if err != nil {
+			t.Errorf("repair: %v", err)
+			return
+		}
+		boot, err = img.Boot(p)
+		if err != nil {
+			t.Errorf("boot: %v", err)
+		}
+	})
+	eng.Run()
+	return repair, boot, float64(img.COWBytes()) / (1 << 20)
+}
+
+func TestTable1Calibration(t *testing.T) {
+	// Paper Table 1: repair(s), boot(s), size(MB) per Windows version.
+	cases := []struct {
+		v          Version
+		repairS    float64
+		bootS      float64
+		sizeMB     float64
+		relTolTime float64
+	}{
+		{WindowsVista, 133.7, 37.7, 4.9, 0.08},
+		{Windows7, 129.3, 34.3, 4.5, 0.08},
+		{Windows8, 157.0, 58.7, 14, 0.08},
+	}
+	for _, c := range cases {
+		repair, boot, size := runOne(t, c.v)
+		if rel(repair.Seconds(), c.repairS) > c.relTolTime {
+			t.Errorf("%s repair = %.1fs, want ~%.1fs", c.v.Name, repair.Seconds(), c.repairS)
+		}
+		if rel(boot.Seconds(), c.bootS) > c.relTolTime {
+			t.Errorf("%s boot = %.1fs, want ~%.1fs", c.v.Name, boot.Seconds(), c.bootS)
+		}
+		if rel(size, c.sizeMB) > 0.15 {
+			t.Errorf("%s size = %.1f MB, want ~%.1f MB", c.v.Name, size, c.sizeMB)
+		}
+	}
+}
+
+func rel(got, want float64) float64 { return math.Abs(got-want) / want }
+
+func TestTable1Ordering(t *testing.T) {
+	// Shape criteria: Win8 costs the most on every column; Win7 repairs
+	// faster than Vista.
+	vr, vb, vs := runOne(t, WindowsVista)
+	sr, sb, ss := runOne(t, Windows7)
+	er, eb, es := runOne(t, Windows8)
+	if !(er > vr && vr > sr) {
+		t.Errorf("repair ordering: win8=%v vista=%v win7=%v", er, vr, sr)
+	}
+	if !(eb > vb && vb > sb) {
+		t.Errorf("boot ordering: win8=%v vista=%v win7=%v", eb, vb, sb)
+	}
+	if !(es > vs && vs > ss) {
+		t.Errorf("size ordering: win8=%.1f vista=%.1f win7=%.1f", es, vs, ss)
+	}
+}
+
+func TestLinuxBootsWithoutRepair(t *testing.T) {
+	eng := sim.NewEngine(1)
+	img, _ := NewImage(UbuntuLinux, nil)
+	eng.Go("t", func(p *sim.Proc) {
+		repair, err := img.Repair(p)
+		if err != nil || repair != 0 {
+			t.Errorf("linux repair = %v, %v", repair, err)
+		}
+		if _, err := img.Boot(p); err != nil {
+			t.Errorf("linux boot: %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestWindowsRequiresRepairBeforeBoot(t *testing.T) {
+	eng := sim.NewEngine(1)
+	img, _ := NewImage(Windows7, nil)
+	var err error
+	eng.Go("t", func(p *sim.Proc) { _, err = img.Boot(p) })
+	eng.Run()
+	if !errors.Is(err, ErrNeedsRepair) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPhysicalDiskNeverModified(t *testing.T) {
+	eng := sim.NewEngine(1)
+	img, _ := NewImage(Windows7, map[string][]byte{"/users/bob/doc": []byte("d")})
+	eng.Go("t", func(p *sim.Proc) {
+		img.Repair(p)
+		img.Boot(p)
+	})
+	eng.Run()
+	if img.COWBytes() == 0 {
+		t.Fatal("no COW delta recorded")
+	}
+	// Discard: physical disk pristine, user files intact, repair undone.
+	img.DiscardSession()
+	if img.COWBytes() != 0 {
+		t.Fatal("COW survived discard")
+	}
+	data, err := img.Disk().FS().ReadFile("/users/bob/doc")
+	if err != nil || string(data) != "d" {
+		t.Fatalf("user file lost: %q %v", data, err)
+	}
+	if img.Repaired() {
+		t.Fatal("repair flag survived discard")
+	}
+}
+
+func TestCOWSnapshotRestoreSkipsRepair(t *testing.T) {
+	eng := sim.NewEngine(1)
+	img, _ := NewImage(Windows7, nil)
+	eng.Go("t", func(p *sim.Proc) {
+		img.Repair(p)
+		img.Boot(p)
+	})
+	eng.Run()
+	snap := img.SnapshotCOW()
+	gen := img.Generation()
+	img.DiscardSession()
+
+	if err := img.RestoreCOW(snap, gen); err != nil {
+		t.Fatal(err)
+	}
+	eng.Go("t", func(p *sim.Proc) {
+		if _, err := img.Boot(p); err != nil {
+			t.Errorf("boot after restore: %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestStaleCOWRejectedAfterBareMetalBoot(t *testing.T) {
+	eng := sim.NewEngine(1)
+	img, _ := NewImage(Windows7, nil)
+	eng.Go("t", func(p *sim.Proc) {
+		img.Repair(p)
+		img.Boot(p)
+	})
+	eng.Run()
+	snap := img.SnapshotCOW()
+	gen := img.Generation()
+	img.DiscardSession()
+	img.MutatePhysicalDisk() // user booted Windows on bare metal
+	if err := img.RestoreCOW(snap, gen); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("stale COW restore: %v", err)
+	}
+	// And a fresh session needs repair again.
+	var err error
+	eng.Go("t", func(p *sim.Proc) { _, err = img.Boot(p) })
+	eng.Run()
+	if !errors.Is(err, ErrNeedsRepair) {
+		t.Fatalf("boot after mutation: %v", err)
+	}
+}

@@ -1,0 +1,180 @@
+package merkle
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"nymix/internal/guestos"
+	"nymix/internal/unionfs"
+)
+
+func testLayer(files map[string]string) *unionfs.Layer {
+	l := unionfs.NewLayer("base")
+	fs, _ := unionfs.Stack(l)
+	for p, content := range files {
+		fs.WriteFile(p, []byte(content))
+	}
+	return l
+}
+
+func TestRootDeterministic(t *testing.T) {
+	a := BuildLayer(testLayer(map[string]string{"/a": "1", "/b": "2", "/c": "3"}))
+	b := BuildLayer(testLayer(map[string]string{"/c": "3", "/a": "1", "/b": "2"}))
+	if a.Root() != b.Root() {
+		t.Fatal("insertion order changed the root")
+	}
+}
+
+func TestRootSensitiveToContentAndPath(t *testing.T) {
+	base := BuildLayer(testLayer(map[string]string{"/a": "1", "/b": "2"}))
+	changedContent := BuildLayer(testLayer(map[string]string{"/a": "1", "/b": "X"}))
+	changedPath := BuildLayer(testLayer(map[string]string{"/a": "1", "/bb": "2"}))
+	extraFile := BuildLayer(testLayer(map[string]string{"/a": "1", "/b": "2", "/c": ""}))
+	for name, tree := range map[string]*Tree{
+		"content": changedContent, "path": changedPath, "extra": extraFile,
+	} {
+		if tree.Root() == base.Root() {
+			t.Fatalf("%s change not reflected in root", name)
+		}
+	}
+}
+
+func TestVerifyLayerDetectsTampering(t *testing.T) {
+	// The realistic threat: the base image is modified while the USB
+	// sits in another machine.
+	original := guestos.BuildBaseImage()
+	root := BuildLayer(original).Root()
+	if err := VerifyLayer(original, root); err != nil {
+		t.Fatalf("pristine image rejected: %v", err)
+	}
+	// An attacker stains one config file.
+	img := original.Export()
+	tampered := unionfs.Import(img)
+	tfs, _ := unionfs.Stack(tampered)
+	tfs.WriteFile("/etc/rc.local", []byte("#!/bin/sh\nreport-home\n"))
+	if err := VerifyLayer(tampered.Seal(), root); !errors.Is(err, ErrTampered) {
+		t.Fatalf("tampered image accepted: %v", err)
+	}
+}
+
+func TestVerifyFilePerAccess(t *testing.T) {
+	layer := testLayer(map[string]string{"/a": "1", "/b": "2", "/c": "3", "/d": "4", "/e": "5"})
+	tree := BuildLayer(layer)
+	for _, p := range []string{"/a", "/b", "/c", "/d", "/e"} {
+		if err := tree.VerifyFile(layer, p); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+	// Tamper with one file; only it fails, others still verify.
+	img := layer.Export()
+	bad := unionfs.Import(img)
+	bfs, _ := unionfs.Stack(bad)
+	bfs.WriteFile("/c", []byte("evil"))
+	if err := tree.VerifyFile(bad, "/c"); !errors.Is(err, ErrTampered) {
+		t.Fatalf("tampered file passed: %v", err)
+	}
+	if err := tree.VerifyFile(bad, "/a"); err != nil {
+		t.Fatalf("untouched file failed: %v", err)
+	}
+	if err := tree.VerifyFile(bad, "/nonexistent"); !errors.Is(err, ErrTampered) {
+		t.Fatalf("unknown path: %v", err)
+	}
+}
+
+func TestProofRoundTrip(t *testing.T) {
+	for n := 1; n <= 17; n++ {
+		files := map[string]string{}
+		for i := 0; i < n; i++ {
+			files[fmt.Sprintf("/f%02d", i)] = fmt.Sprintf("content-%d", i)
+		}
+		layer := testLayer(files)
+		tree := BuildLayer(layer)
+		img := layer.Export()
+		for i := 0; i < tree.Leaves(); i++ {
+			proof, err := tree.Proof(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := tree.paths[i]
+			leaf := leafDigest(path, img.Files[path])
+			if !VerifyProof(tree.Root(), leaf, proof) {
+				t.Fatalf("n=%d leaf %d proof failed", n, i)
+			}
+			// A proof for the wrong leaf must fail.
+			other := tree.paths[(i+1)%len(tree.paths)]
+			if n > 1 && VerifyProof(tree.Root(), leafDigest(other, img.Files[other]), proof) {
+				t.Fatalf("n=%d: proof for leaf %d verified wrong leaf", n, i)
+			}
+		}
+	}
+}
+
+func TestProofOutOfRange(t *testing.T) {
+	tree := BuildLayer(testLayer(map[string]string{"/a": "1"}))
+	if _, err := tree.Proof(5); err == nil {
+		t.Fatal("out-of-range proof accepted")
+	}
+	if _, err := tree.Proof(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestEmptyLayerHasStableRoot(t *testing.T) {
+	a := BuildLayer(unionfs.NewLayer("x"))
+	b := BuildLayer(unionfs.NewLayer("y"))
+	if a.Root() != b.Root() {
+		t.Fatal("empty roots differ")
+	}
+}
+
+// Property: any single-byte flip in any file is detected by
+// VerifyLayer.
+func TestPropertyAnyFlipDetected(t *testing.T) {
+	f := func(contents [][]byte, whichFile, whichByte uint8) bool {
+		if len(contents) == 0 {
+			return true
+		}
+		files := map[string]string{}
+		for i, c := range contents {
+			files[fmt.Sprintf("/f%03d", i)] = string(c)
+		}
+		layer := testLayer(files)
+		root := BuildLayer(layer).Root()
+
+		// Flip one byte in one file (skip empty files).
+		target := fmt.Sprintf("/f%03d", int(whichFile)%len(contents))
+		data := []byte(files[target])
+		if len(data) == 0 {
+			return true
+		}
+		data[int(whichByte)%len(data)] ^= 0xFF
+		img := layer.Export()
+		bad := unionfs.Import(img)
+		bfs, _ := unionfs.Stack(bad)
+		bfs.WriteFile(target, data)
+		return errors.Is(VerifyLayer(bad, root), ErrTampered)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: virtual files' size and entropy are integrity-covered.
+func TestPropertyVirtualMetadataCovered(t *testing.T) {
+	f := func(size uint32, entPct uint8) bool {
+		l := unionfs.NewLayer("v")
+		fs, _ := unionfs.Stack(l)
+		fs.WriteVirtual("/blob", int64(size), float64(entPct%101)/100)
+		root := BuildLayer(l).Root()
+
+		l2 := unionfs.NewLayer("v")
+		fs2, _ := unionfs.Stack(l2)
+		fs2.WriteVirtual("/blob", int64(size)+1, float64(entPct%101)/100)
+		return BuildLayer(l2).Root() != root
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package nymstate implements the quasi-persistent nym archive format
+// of paper section 3.5: the nym manager "pauses the nym's AnonVM and
+// CommVM, syncs their file systems, compresses and encrypts their
+// temporary file system disk images" before uploading them to cloud
+// storage under a user-chosen password.
+//
+// The archive carries the writable disk layers of both VMs plus the
+// anonymizer's persistent state (Tor entry guard, consensus cache).
+// Encryption is AES-256-GCM under a PBKDF2-HMAC-SHA256 key, so a
+// confiscated blob is indistinguishable from random bytes and a wrong
+// password fails authentication rather than yielding garbage.
+//
+// Because bulk content (browser caches) is modeled virtually, archives
+// carry real bytes for metadata and small files, plus a compression
+// model that prices virtual content by its entropy — producing the
+// on-disk sizes Figure 6 plots without materializing gigabytes.
+package nymstate
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"nymix/internal/anonnet"
+	"nymix/internal/unionfs"
+)
+
+// Errors.
+var (
+	ErrBadPassword = errors.New("nymstate: wrong password or corrupted archive")
+	ErrBadArchive  = errors.New("nymstate: malformed archive")
+)
+
+// KDF parameters.
+const (
+	KDFIterations = 4096
+	keyLen        = 32
+	saltLen       = 16
+)
+
+// State is everything a quasi-persistent nym needs to resume: the
+// writable layers of both VMs and the anonymizer's persistent state.
+type State struct {
+	Name      string
+	Model     string // usage model: "persistent" or "preconfigured"
+	Cycles    int    // completed save/restore cycles
+	AnonDisk  unionfs.Image
+	CommDisk  unionfs.Image
+	AnonState anonnet.State
+}
+
+// Archive is a sealed nym state.
+type Archive struct {
+	Salt       []byte
+	Nonce      []byte
+	Ciphertext []byte // real encrypted bytes (gob of State, gzipped)
+	// WireSize is the simulated archive footprint: the modeled
+	// compressed size of all disk content (virtual files priced by
+	// entropy) plus encryption overhead. This is the number Figure 6
+	// reports and what cloud storage and transfers charge.
+	WireSize int64
+}
+
+// DeriveKey is PBKDF2-HMAC-SHA256 (RFC 2898). Implemented here because
+// the standard library does not ship PBKDF2.
+func DeriveKey(password, salt []byte, iterations, outLen int) []byte {
+	if iterations < 1 {
+		iterations = 1
+	}
+	var out []byte
+	var block uint32
+	for len(out) < outLen {
+		block++
+		mac := hmac.New(sha256.New, password)
+		mac.Write(salt)
+		var be [4]byte
+		binary.BigEndian.PutUint32(be[:], block)
+		mac.Write(be[:])
+		u := mac.Sum(nil)
+		acc := append([]byte(nil), u...)
+		for i := 1; i < iterations; i++ {
+			mac = hmac.New(sha256.New, password)
+			mac.Write(u)
+			u = mac.Sum(nil)
+			for j := range acc {
+				acc[j] ^= u[j]
+			}
+		}
+		out = append(out, acc...)
+	}
+	return out[:outLen]
+}
+
+// GuardSeed derives the deterministic Tor guard seed of section 3.5:
+// "seed critical CommVM state such as entry guard choices using a
+// deterministic hash based on the nym's storage location and
+// password".
+func GuardSeed(password, location string) string {
+	mac := hmac.New(sha256.New, []byte(password))
+	mac.Write([]byte("nymix-guard-seed-v1"))
+	mac.Write([]byte(location))
+	return hex.EncodeToString(mac.Sum(nil)[:16])
+}
+
+// compressedSizeModel prices an image's content post-compression: real
+// bytes are measured exactly (by gzipping them), virtual bytes cost
+// size*(floor + (1-floor)*entropy).
+func compressedSizeModel(images ...unionfs.Image) int64 {
+	const floor = 0.03
+	var virtual float64
+	var real bytes.Buffer
+	zw := gzip.NewWriter(&real)
+	for _, img := range images {
+		for path, f := range img.Files {
+			if f.Real {
+				zw.Write([]byte(path))
+				zw.Write(f.Data)
+				continue
+			}
+			virtual += float64(f.VirtualSize) * (floor + (1-floor)*f.Entropy)
+		}
+	}
+	zw.Close()
+	return int64(virtual) + int64(real.Len())
+}
+
+// RandSource supplies nonce/salt bytes (the simulation's deterministic
+// RNG in tests, crypto/rand-style in a deployment).
+type RandSource interface{ Bytes(b []byte) }
+
+// Seal compresses and encrypts a nym state under the password.
+func Seal(st *State, password string, rnd RandSource) (*Archive, error) {
+	var plain bytes.Buffer
+	zw := gzip.NewWriter(&plain)
+	if err := gob.NewEncoder(zw).Encode(st); err != nil {
+		return nil, fmt.Errorf("nymstate: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("nymstate: compress: %w", err)
+	}
+	salt := make([]byte, saltLen)
+	rnd.Bytes(salt)
+	key := DeriveKey([]byte(password), salt, KDFIterations, keyLen)
+	blockCipher, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(blockCipher)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	rnd.Bytes(nonce)
+	ct := gcm.Seal(nil, nonce, plain.Bytes(), []byte(st.Name))
+	wire := compressedSizeModel(st.AnonDisk, st.CommDisk) + int64(len(ct)) + int64(len(salt)+len(nonce))
+	return &Archive{Salt: salt, Nonce: nonce, Ciphertext: ct, WireSize: wire}, nil
+}
+
+// Open decrypts an archive; a wrong password fails authentication.
+func Open(a *Archive, password string, name string) (*State, error) {
+	if a == nil || len(a.Salt) != saltLen || len(a.Ciphertext) == 0 {
+		return nil, ErrBadArchive
+	}
+	key := DeriveKey([]byte(password), a.Salt, KDFIterations, keyLen)
+	blockCipher, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(blockCipher)
+	if err != nil {
+		return nil, err
+	}
+	if len(a.Nonce) != gcm.NonceSize() {
+		return nil, ErrBadArchive
+	}
+	plain, err := gcm.Open(nil, a.Nonce, a.Ciphertext, []byte(name))
+	if err != nil {
+		return nil, ErrBadPassword
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(plain))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArchive, err)
+	}
+	var st State
+	if err := gob.NewDecoder(zr).Decode(&st); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArchive, err)
+	}
+	return &st, nil
+}
+
+// Encode serializes an archive for storage.
+func (a *Archive) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(a); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeArchive parses a stored archive.
+func DecodeArchive(data []byte) (*Archive, error) {
+	var a Archive
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&a); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArchive, err)
+	}
+	return &a, nil
+}
+
+// Processing-rate constants for the simulated compress/encrypt work
+// the nym manager performs during a save or restore (bytes/second of
+// logical content).
+const (
+	CompressRate = 120 << 20
+	CryptoRate   = 300 << 20
+)
+
+// LogicalSize returns the uncompressed content footprint of a state:
+// what the compressor must chew through.
+func LogicalSize(st *State) int64 {
+	var n int64
+	for _, img := range []unionfs.Image{st.AnonDisk, st.CommDisk} {
+		for _, f := range img.Files {
+			if f.Real {
+				n += int64(len(f.Data))
+			} else {
+				n += f.VirtualSize
+			}
+		}
+	}
+	return n
+}

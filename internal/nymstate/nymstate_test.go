@@ -1,0 +1,221 @@
+package nymstate
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"nymix/internal/anonnet"
+	"nymix/internal/sim"
+	"nymix/internal/unionfs"
+)
+
+func sampleState() *State {
+	anonDisk := unionfs.NewLayer("anon/writable")
+	fsA, _ := unionfs.Stack(anonDisk)
+	fsA.WriteFile("/home/user/.config/chromium/cookies.json", []byte(`{"twitter.com":"ck-1"}`))
+	fsA.WriteVirtual("/home/user/.cache/chromium/blob", 20<<20, 0.95)
+	commDisk := unionfs.NewLayer("comm/writable")
+	fsC, _ := unionfs.Stack(commDisk)
+	fsC.WriteFile("/var/lib/tor/state", []byte("guard relay-b"))
+	fsC.WriteVirtual("/var/lib/tor/cached-consensus", 2200<<10, 0.6)
+	return &State{
+		Name:      "alice-blog",
+		Model:     "persistent",
+		Cycles:    3,
+		AnonDisk:  anonDisk.Export(),
+		CommDisk:  commDisk.Export(),
+		AnonState: anonnet.State{"guard": "relay-b", "consensus": "cached"},
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	st := sampleState()
+	a, err := Seal(st, "correct horse", sim.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Open(a, "correct horse", "alice-blog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != st.Name || back.Model != st.Model || back.Cycles != 3 {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	if back.AnonState["guard"] != "relay-b" {
+		t.Fatalf("anon state lost: %v", back.AnonState)
+	}
+	restored := unionfs.Import(back.AnonDisk)
+	fs, _ := unionfs.Stack(restored)
+	data, err := fs.ReadFile("/home/user/.config/chromium/cookies.json")
+	if err != nil || !bytes.Contains(data, []byte("ck-1")) {
+		t.Fatalf("cookie file lost: %q %v", data, err)
+	}
+	info, err := fs.Stat("/home/user/.cache/chromium/blob")
+	if err != nil || info.Size != 20<<20 {
+		t.Fatalf("cache lost: %+v %v", info, err)
+	}
+}
+
+func TestWrongPasswordRejected(t *testing.T) {
+	a, _ := Seal(sampleState(), "right", sim.NewRand(1))
+	if _, err := Open(a, "wrong", "alice-blog"); !errors.Is(err, ErrBadPassword) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNameBindingPreventsSwap(t *testing.T) {
+	// The nym name is authenticated data: an adversary cannot serve
+	// Bob's archive when Alice asks for hers.
+	a, _ := Seal(sampleState(), "pw", sim.NewRand(1))
+	if _, err := Open(a, "pw", "other-nym"); !errors.Is(err, ErrBadPassword) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCiphertextTamperDetected(t *testing.T) {
+	a, _ := Seal(sampleState(), "pw", sim.NewRand(1))
+	a.Ciphertext[len(a.Ciphertext)/2] ^= 0xFF
+	if _, err := Open(a, "pw", "alice-blog"); !errors.Is(err, ErrBadPassword) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCiphertextLooksRandom(t *testing.T) {
+	st := sampleState()
+	a, _ := Seal(st, "pw", sim.NewRand(1))
+	if bytes.Contains(a.Ciphertext, []byte("twitter")) || bytes.Contains(a.Ciphertext, []byte("guard")) {
+		t.Fatal("plaintext visible in ciphertext")
+	}
+}
+
+func TestWireSizeTracksContent(t *testing.T) {
+	small := sampleState()
+	a1, _ := Seal(small, "pw", sim.NewRand(1))
+	big := sampleState()
+	bigDisk := unionfs.Import(big.AnonDisk)
+	fs, _ := unionfs.Stack(bigDisk)
+	fs.GrowVirtual("/home/user/.cache/chromium/blob", 30<<20, 0.95)
+	big.AnonDisk = bigDisk.Export()
+	a2, _ := Seal(big, "pw", sim.NewRand(1))
+	if a2.WireSize <= a1.WireSize {
+		t.Fatalf("wire size did not grow: %d vs %d", a1.WireSize, a2.WireSize)
+	}
+	// High-entropy cache compresses barely; the 20 MiB cache alone
+	// should keep the archive near its logical size.
+	if a1.WireSize < 15<<20 {
+		t.Fatalf("wire size %d implausibly small", a1.WireSize)
+	}
+	if a1.WireSize > int64(float64(LogicalSize(small))*1.05) {
+		t.Fatalf("wire size %d exceeds logical %d", a1.WireSize, LogicalSize(small))
+	}
+}
+
+func TestLowEntropyCompressesWell(t *testing.T) {
+	st := sampleState()
+	disk := unionfs.Import(st.AnonDisk)
+	fs, _ := unionfs.Stack(disk)
+	fs.Remove("/home/user/.cache/chromium/blob")
+	fs.WriteVirtual("/home/user/logs", 20<<20, 0.05)
+	st.AnonDisk = disk.Export()
+	a, _ := Seal(st, "pw", sim.NewRand(1))
+	if a.WireSize > 6<<20 {
+		t.Fatalf("low-entropy archive = %d, want strong compression", a.WireSize)
+	}
+}
+
+func TestArchiveEncodeDecode(t *testing.T) {
+	a, _ := Seal(sampleState(), "pw", sim.NewRand(1))
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArchive(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.WireSize != a.WireSize || !bytes.Equal(back.Ciphertext, a.Ciphertext) {
+		t.Fatal("archive round trip lost data")
+	}
+	if _, err := DecodeArchive([]byte("junk")); !errors.Is(err, ErrBadArchive) {
+		t.Fatalf("junk decode: %v", err)
+	}
+}
+
+func TestDeriveKeyKnownProperties(t *testing.T) {
+	k1 := DeriveKey([]byte("pw"), []byte("salt"), 1000, 32)
+	k2 := DeriveKey([]byte("pw"), []byte("salt"), 1000, 32)
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("KDF not deterministic")
+	}
+	if bytes.Equal(k1, DeriveKey([]byte("pw"), []byte("other"), 1000, 32)) {
+		t.Fatal("salt ignored")
+	}
+	if bytes.Equal(k1, DeriveKey([]byte("pw2"), []byte("salt"), 1000, 32)) {
+		t.Fatal("password ignored")
+	}
+	if bytes.Equal(k1, DeriveKey([]byte("pw"), []byte("salt"), 999, 32)) {
+		t.Fatal("iteration count ignored")
+	}
+	if len(DeriveKey([]byte("p"), []byte("s"), 10, 100)) != 100 {
+		t.Fatal("multi-block output length wrong")
+	}
+}
+
+// PBKDF2-HMAC-SHA256 test vector (RFC 7914 section 11 / community
+// vectors): PBKDF2(P="passwd", S="salt", c=1, dkLen=64) prefix.
+func TestDeriveKeyRFCVector(t *testing.T) {
+	got := DeriveKey([]byte("passwd"), []byte("salt"), 1, 64)
+	want := []byte{0x55, 0xac, 0x04, 0x6e, 0x56, 0xe3, 0x08, 0x9f}
+	if !bytes.Equal(got[:8], want) {
+		t.Fatalf("PBKDF2 vector mismatch: got %x", got[:8])
+	}
+}
+
+func TestGuardSeedDeterministicAndDistinct(t *testing.T) {
+	a := GuardSeed("pw", "dropbin/alice-blog")
+	b := GuardSeed("pw", "dropbin/alice-blog")
+	if a != b {
+		t.Fatal("guard seed not deterministic")
+	}
+	if GuardSeed("pw2", "dropbin/alice-blog") == a {
+		t.Fatal("password ignored")
+	}
+	if GuardSeed("pw", "gdrive/alice-blog") == a {
+		t.Fatal("location ignored")
+	}
+}
+
+// Property: seal/open is the identity for any state contents.
+func TestPropertySealOpenIdentity(t *testing.T) {
+	f := func(name string, cookie []byte, cacheKB uint16, entropyPct uint8, password string) bool {
+		if name == "" {
+			name = "n"
+		}
+		disk := unionfs.NewLayer("w")
+		fs, _ := unionfs.Stack(disk)
+		fs.WriteFile("/c", cookie)
+		fs.WriteVirtual("/cache", int64(cacheKB)<<10, float64(entropyPct%101)/100)
+		st := &State{Name: name, Model: "persistent", AnonDisk: disk.Export(), CommDisk: unionfs.NewLayer("c").Export()}
+		a, err := Seal(st, password, sim.NewRand(42))
+		if err != nil {
+			return false
+		}
+		back, err := Open(a, password, name)
+		if err != nil {
+			return false
+		}
+		l := unionfs.Import(back.AnonDisk)
+		fs2, _ := unionfs.Stack(l)
+		got, err := fs2.ReadFile("/c")
+		if err != nil || !bytes.Equal(got, cookie) {
+			return false
+		}
+		info, err := fs2.Stat("/cache")
+		return err == nil && info.Size == int64(cacheKB)<<10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package sanitize
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// PDF handling. The generator emits a small but structurally honest
+// PDF: header, numbered objects, an Info dictionary, visible text
+// streams, and optionally hidden text (invisible render mode Tr 3) —
+// the kind of concealed content rasterization exists to destroy
+// (section 3.6: "reconstruct the document completely as a series of
+// bitmaps, effectively scrubbing any nonvisual information").
+
+// PDFDoc describes a document to generate.
+type PDFDoc struct {
+	Author      string
+	Creator     string
+	Title       string
+	VisibleText []string // one string per page
+	HiddenText  []string // invisible-layer strings
+}
+
+// MakePDF renders the document.
+func MakePDF(doc PDFDoc) []byte {
+	var out bytes.Buffer
+	out.WriteString("%PDF-1.4\n")
+	obj := 1
+	writeObj := func(body string) int {
+		fmt.Fprintf(&out, "%d 0 obj\n%s\nendobj\n", obj, body)
+		obj++
+		return obj - 1
+	}
+	if doc.Author != "" || doc.Creator != "" || doc.Title != "" {
+		writeObj(fmt.Sprintf("<< /Author (%s) /Creator (%s) /Title (%s) >>",
+			doc.Author, doc.Creator, doc.Title))
+	}
+	for _, text := range doc.VisibleText {
+		writeObj(fmt.Sprintf("<< /Length %d >>\nstream\nBT /F1 12 Tf (%s) Tj ET\nendstream", len(text), text))
+	}
+	for _, text := range doc.HiddenText {
+		writeObj(fmt.Sprintf("<< /Length %d >>\nstream\nBT 3 Tr (%s) Tj ET\nendstream", len(text), text))
+	}
+	out.WriteString("trailer\n<< /Root 1 0 R >>\n%%EOF\n")
+	return out.Bytes()
+}
+
+// IsPDF sniffs the header.
+func IsPDF(data []byte) bool { return bytes.HasPrefix(data, []byte("%PDF-")) }
+
+// pdfField extracts a literal-string field like /Author (...) from the
+// Info dictionary.
+func pdfField(data []byte, key string) string {
+	idx := bytes.Index(data, []byte("/"+key+" ("))
+	if idx < 0 {
+		return ""
+	}
+	start := idx + len(key) + 3
+	end := bytes.IndexByte(data[start:], ')')
+	if end < 0 {
+		return ""
+	}
+	return string(data[start : start+end])
+}
+
+// PDFMeta is the identifying metadata of a PDF.
+type PDFMeta struct {
+	Author  string
+	Creator string
+	Title   string
+}
+
+// ParsePDFMeta extracts Info-dictionary fields.
+func ParsePDFMeta(data []byte) (PDFMeta, error) {
+	if !IsPDF(data) {
+		return PDFMeta{}, ErrFormat
+	}
+	return PDFMeta{
+		Author:  pdfField(data, "Author"),
+		Creator: pdfField(data, "Creator"),
+		Title:   pdfField(data, "Title"),
+	}, nil
+}
+
+// PDFVisibleText returns the text drawn with a visible render mode.
+func PDFVisibleText(data []byte) []string { return pdfStreams(data, false) }
+
+// PDFHiddenText returns text in invisible render mode (Tr 3) —
+// content a viewer never shows but a forensic reader extracts.
+func PDFHiddenText(data []byte) []string { return pdfStreams(data, true) }
+
+func pdfStreams(data []byte, hidden bool) []string {
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		isHidden := strings.Contains(line, "3 Tr")
+		if !strings.Contains(line, "Tj") || isHidden != hidden {
+			continue
+		}
+		start := strings.IndexByte(line, '(')
+		end := strings.LastIndexByte(line, ')')
+		if start >= 0 && end > start {
+			out = append(out, line[start+1:end])
+		}
+	}
+	return out
+}
+
+// ScrubPDFMeta removes the Info dictionary, preserving all content
+// streams (including hidden ones — metadata stripping alone cannot
+// remove those; that is what rasterization is for).
+func ScrubPDFMeta(data []byte) ([]byte, error) {
+	meta, err := ParsePDFMeta(data)
+	if err != nil {
+		return nil, err
+	}
+	out := string(data)
+	for _, kv := range []struct{ key, val string }{
+		{"Author", meta.Author}, {"Creator", meta.Creator}, {"Title", meta.Title},
+	} {
+		if kv.val != "" {
+			out = strings.Replace(out, fmt.Sprintf("/%s (%s)", kv.key, kv.val), fmt.Sprintf("/%s ()", kv.key), 1)
+		}
+	}
+	return []byte(out), nil
+}
+
+// RasterizePDF reconstructs the document as page images: visible text
+// survives (as rendered bitmaps, represented by image objects tagged
+// with the text they show), while metadata, hidden layers, and all
+// structural complexity are destroyed.
+func RasterizePDF(data []byte) ([]byte, error) {
+	if !IsPDF(data) {
+		return nil, ErrFormat
+	}
+	visible := PDFVisibleText(data)
+	var out bytes.Buffer
+	out.WriteString("%PDF-1.4\n")
+	for i, text := range visible {
+		// Each page becomes one opaque bitmap. The bitmap "pixels" are a
+		// rendering of the visible glyphs only.
+		fmt.Fprintf(&out, "%d 0 obj\n<< /Subtype /Image /Width 1024 /Height 768 >>\nstream\nBITMAP:%s\nendstream\nendobj\n", i+1, text)
+	}
+	out.WriteString("trailer\n<< /Root 1 0 R >>\n%%EOF\n")
+	return out.Bytes(), nil
+}

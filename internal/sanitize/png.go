@@ -1,0 +1,135 @@
+package sanitize
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// PNG chunk handling: real chunk framing with correct CRC-32s, as any
+// downstream consumer would verify.
+
+var pngSignature = []byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1A, '\n'}
+
+// metadata chunk types stripped by the scrubber.
+var pngMetaChunks = map[string]bool{
+	"tEXt": true, "zTXt": true, "iTXt": true, "eXIf": true, "tIME": true,
+}
+
+type pngChunk struct {
+	typ  string
+	data []byte
+}
+
+func writeChunk(out *bytes.Buffer, c pngChunk) {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(c.data)))
+	out.Write(lenBuf[:])
+	out.WriteString(c.typ)
+	out.Write(c.data)
+	crc := crc32.NewIEEE()
+	crc.Write([]byte(c.typ))
+	crc.Write(c.data)
+	var crcBuf [4]byte
+	binary.BigEndian.PutUint32(crcBuf[:], crc.Sum32())
+	out.Write(crcBuf[:])
+}
+
+// MakePNG builds a PNG with the given text metadata (key -> value
+// tEXt chunks) around an IDAT payload.
+func MakePNG(textMeta map[string]string, idat []byte) []byte {
+	var out bytes.Buffer
+	out.Write(pngSignature)
+	ihdr := make([]byte, 13)
+	binary.BigEndian.PutUint32(ihdr[0:4], 640)
+	binary.BigEndian.PutUint32(ihdr[4:8], 480)
+	ihdr[8] = 8 // bit depth
+	ihdr[9] = 2 // color type RGB
+	writeChunk(&out, pngChunk{"IHDR", ihdr})
+	keys := make([]string, 0, len(textMeta))
+	for k := range textMeta {
+		keys = append(keys, k)
+	}
+	// Deterministic chunk order.
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for _, k := range keys {
+		data := append(append([]byte(k), 0), []byte(textMeta[k])...)
+		writeChunk(&out, pngChunk{"tEXt", data})
+	}
+	writeChunk(&out, pngChunk{"IDAT", idat})
+	writeChunk(&out, pngChunk{"IEND", nil})
+	return out.Bytes()
+}
+
+// IsPNG sniffs the signature.
+func IsPNG(data []byte) bool { return bytes.HasPrefix(data, pngSignature) }
+
+// parsePNG splits a PNG into chunks, verifying CRCs.
+func parsePNG(data []byte) ([]pngChunk, error) {
+	if !IsPNG(data) {
+		return nil, ErrFormat
+	}
+	var chunks []pngChunk
+	i := len(pngSignature)
+	for i+12 <= len(data) {
+		length := int(binary.BigEndian.Uint32(data[i:]))
+		if i+12+length > len(data) {
+			return nil, ErrFormat
+		}
+		typ := string(data[i+4 : i+8])
+		body := data[i+8 : i+8+length]
+		crc := crc32.NewIEEE()
+		crc.Write([]byte(typ))
+		crc.Write(body)
+		if crc.Sum32() != binary.BigEndian.Uint32(data[i+8+length:]) {
+			return nil, ErrFormat
+		}
+		chunks = append(chunks, pngChunk{typ, body})
+		i += 12 + length
+		if typ == "IEND" {
+			return chunks, nil
+		}
+	}
+	return nil, ErrFormat
+}
+
+// PNGTextMeta extracts tEXt metadata.
+func PNGTextMeta(data []byte) (map[string]string, error) {
+	chunks, err := parsePNG(data)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, c := range chunks {
+		if c.typ == "tEXt" {
+			if sep := bytes.IndexByte(c.data, 0); sep >= 0 {
+				out[string(c.data[:sep])] = string(c.data[sep+1:])
+			}
+		}
+	}
+	return out, nil
+}
+
+// ScrubPNG drops all metadata chunks, preserving image chunks
+// byte-identically (with recomputed framing).
+func ScrubPNG(data []byte) ([]byte, error) {
+	chunks, err := parsePNG(data)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	out.Write(pngSignature)
+	for _, c := range chunks {
+		if pngMetaChunks[c.typ] {
+			continue
+		}
+		writeChunk(&out, c)
+	}
+	return out.Bytes(), nil
+}

@@ -1,0 +1,349 @@
+package sanitize
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var bobPhoto = EXIFMeta{
+	Make:   "SmartPhoneCo",
+	Model:  "SP-7",
+	Serial: "SN-0042-TYR",
+	GPSLat: "41.2995N",
+	GPSLon: "69.2401E",
+}
+
+func TestJPEGRoundTrip(t *testing.T) {
+	body := []byte("entropy-coded-scan-data-here")
+	jpg := MakeJPEG(bobPhoto, body)
+	if !IsJPEG(jpg) {
+		t.Fatal("not sniffed as JPEG")
+	}
+	meta, gotBody, err := ParseJPEG(jpg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != bobPhoto {
+		t.Fatalf("meta = %v", meta)
+	}
+	if !bytes.Equal(gotBody, body) {
+		t.Fatalf("body = %q", gotBody)
+	}
+}
+
+func TestScrubJPEGRemovesAllMetadataKeepsImage(t *testing.T) {
+	body := []byte("pixel-payload")
+	jpg := MakeJPEG(bobPhoto, body)
+	clean, err := ScrubJPEG(jpg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, gotBody, err := ParseJPEG(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.empty() {
+		t.Fatalf("metadata survived: %v", meta)
+	}
+	if !bytes.Equal(gotBody, body) {
+		t.Fatal("image body damaged")
+	}
+	if bytes.Contains(clean, []byte("SN-0042-TYR")) || bytes.Contains(clean, []byte("41.2995N")) {
+		t.Fatal("identifying strings still present in raw bytes")
+	}
+}
+
+func TestJPEGWithoutEXIF(t *testing.T) {
+	jpg := MakeJPEG(EXIFMeta{}, []byte("x"))
+	meta, _, err := ParseJPEG(jpg)
+	if err != nil || !meta.empty() {
+		t.Fatalf("meta=%v err=%v", meta, err)
+	}
+}
+
+func TestJPEGMalformed(t *testing.T) {
+	if _, _, err := ParseJPEG([]byte("not a jpeg")); err == nil {
+		t.Fatal("garbage parsed")
+	}
+	if _, _, err := ParseJPEG([]byte{0xFF, 0xD8, 0x00}); err == nil {
+		t.Fatal("truncated jpeg parsed")
+	}
+}
+
+func TestPNGRoundTripAndScrub(t *testing.T) {
+	idat := []byte("compressed-pixels")
+	png := MakePNG(map[string]string{"Author": "Bob D.", "Location": "Tyrannimen Sq"}, idat)
+	if !IsPNG(png) {
+		t.Fatal("not sniffed")
+	}
+	meta, err := PNGTextMeta(png)
+	if err != nil || meta["Author"] != "Bob D." {
+		t.Fatalf("meta = %v, %v", meta, err)
+	}
+	clean, err := ScrubPNG(png)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err = PNGTextMeta(clean)
+	if err != nil || len(meta) != 0 {
+		t.Fatalf("post-scrub meta = %v, %v", meta, err)
+	}
+	if !bytes.Contains(clean, idat) {
+		t.Fatal("image data lost")
+	}
+}
+
+func TestPNGCRCValidation(t *testing.T) {
+	png := MakePNG(map[string]string{"k": "v"}, []byte("d"))
+	png[len(pngSignature)+9] ^= 0xFF // corrupt IHDR body
+	if _, err := PNGTextMeta(png); err == nil {
+		t.Fatal("CRC corruption undetected")
+	}
+}
+
+func TestPDFMetaAndHiddenText(t *testing.T) {
+	doc := PDFDoc{
+		Author:      "B. Dissident",
+		Creator:     "LibreOffice",
+		Title:       "Notes",
+		VisibleText: []string{"Public statement."},
+		HiddenText:  []string{"draft: meet at the river 9pm"},
+	}
+	pdf := MakePDF(doc)
+	meta, err := ParsePDFMeta(pdf)
+	if err != nil || meta.Author != "B. Dissident" {
+		t.Fatalf("meta = %v, %v", meta, err)
+	}
+	if got := PDFVisibleText(pdf); len(got) != 1 || got[0] != "Public statement." {
+		t.Fatalf("visible = %v", got)
+	}
+	if got := PDFHiddenText(pdf); len(got) != 1 || got[0] != "draft: meet at the river 9pm" {
+		t.Fatalf("hidden = %v", got)
+	}
+}
+
+func TestScrubPDFMetaLeavesHiddenText(t *testing.T) {
+	pdf := MakePDF(PDFDoc{Author: "Bob", VisibleText: []string{"v"}, HiddenText: []string{"secret"}})
+	clean, err := ScrubPDFMeta(pdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, _ := ParsePDFMeta(clean)
+	if meta.Author != "" {
+		t.Fatal("author survived metadata strip")
+	}
+	if got := PDFHiddenText(clean); len(got) != 1 {
+		t.Fatal("metadata strip should NOT remove hidden text (that's rasterization's job)")
+	}
+}
+
+func TestRasterizeDestroysHiddenContent(t *testing.T) {
+	pdf := MakePDF(PDFDoc{Author: "Bob", VisibleText: []string{"public"}, HiddenText: []string{"secret"}})
+	raster, err := RasterizePDF(pdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PDFHiddenText(raster); len(got) != 0 {
+		t.Fatalf("hidden text survived rasterization: %v", got)
+	}
+	if meta, _ := ParsePDFMeta(raster); meta.Author != "" {
+		t.Fatal("metadata survived rasterization")
+	}
+	if !bytes.Contains(raster, []byte("BITMAP:public")) {
+		t.Fatal("visible content lost")
+	}
+}
+
+func TestDOCXRoundTripAndScrub(t *testing.T) {
+	docx := MakeDOCX(DOCXMeta{Creator: "bob@real-name.tyr", LastModifiedBy: "Bob"}, "report text")
+	if !IsDOCX(docx) {
+		t.Fatal("not sniffed")
+	}
+	meta, err := ParseDOCXMeta(docx)
+	if err != nil || meta.Creator != "bob@real-name.tyr" {
+		t.Fatalf("meta = %v, %v", meta, err)
+	}
+	clean, err := ScrubDOCX(docx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err = ParseDOCXMeta(clean)
+	if err != nil || meta != (DOCXMeta{}) {
+		t.Fatalf("post-scrub meta = %v, %v", meta, err)
+	}
+	body, err := DOCXBody(clean)
+	if err != nil || body != "report text" {
+		t.Fatalf("body = %q, %v", body, err)
+	}
+}
+
+func TestSIMGFacesAndWatermark(t *testing.T) {
+	img := MakeSIMG(1024, 768, []SIMGRegion{
+		{Kind: RegionPixels, X: 0, Y: 0, W: 1024, H: 768, Payload: []byte("background-pixels")},
+		{Kind: RegionFace, X: 100, Y: 50, W: 64, H: 64, Payload: []byte("bobs-face-pixels")},
+		{Kind: RegionWatermark, X: 0, Y: 0, W: 8, H: 8, Payload: []byte("device-id-signal")},
+	})
+	faces, err := DetectFaces(img)
+	if err != nil || len(faces) != 1 {
+		t.Fatalf("faces = %v, %v", faces, err)
+	}
+	blurred, err := BlurFaces(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blurred, []byte("bobs-face-pixels")) {
+		t.Fatal("face pixels survived blur")
+	}
+	faces, _ = DetectFaces(blurred)
+	if len(faces) != 1 || faces[0].W != 64 {
+		t.Fatal("blur should preserve geometry")
+	}
+	noWM, err := DisruptWatermark(blurred, 0x55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm, _ := HasWatermark(noWM); wm {
+		t.Fatal("watermark survived disruption")
+	}
+	w, _, _, _ := ParseSIMG(noWM)
+	if w != 512 {
+		t.Fatalf("resolution not reduced: %d", w)
+	}
+}
+
+func TestAnalyzeFindsAllRisks(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want []string
+	}{
+		{"photo.jpg", MakeJPEG(bobPhoto, []byte("x")), []string{"exif-gps", "exif-serial", "exif-device"}},
+		{"shot.png", MakePNG(map[string]string{"Author": "B"}, []byte("x")), []string{"png-text"}},
+		{"doc.pdf", MakePDF(PDFDoc{Author: "B", HiddenText: []string{"h"}}), []string{"pdf-author", "pdf-hidden-text"}},
+		{"memo.docx", MakeDOCX(DOCXMeta{Creator: "B"}, "t"), []string{"docx-creator"}},
+		{"img.simg", MakeSIMG(10, 10, []SIMGRegion{{Kind: RegionFace, Payload: []byte("f")}}), []string{"image-faces"}},
+		{"blob.bin", []byte("???"), []string{"unknown-format"}},
+	}
+	for _, tc := range cases {
+		risks := Analyze(tc.name, tc.data)
+		found := map[string]bool{}
+		for _, r := range risks {
+			found[r.Code] = true
+		}
+		for _, code := range tc.want {
+			if !found[code] {
+				t.Errorf("%s: missing risk %q in %v", tc.name, code, risks)
+			}
+		}
+	}
+}
+
+func TestScrubEndToEndClearsCriticalRisks(t *testing.T) {
+	files := map[string][]byte{
+		"photo.jpg": MakeJPEG(bobPhoto, []byte("pixels")),
+		"scan.png":  MakePNG(map[string]string{"Location": "here"}, []byte("pix")),
+		"doc.pdf":   MakePDF(PDFDoc{Author: "Bob", VisibleText: []string{"v"}, HiddenText: []string{"s"}}),
+		"memo.docx": MakeDOCX(DOCXMeta{Creator: "Bob"}, "body"),
+	}
+	for name, data := range files {
+		res, err := Scrub(name, data, AllOptions)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, r := range res.Residual {
+			if r.Severity == Critical {
+				t.Errorf("%s: critical risk survived full scrub: %v", name, r)
+			}
+		}
+		if len(res.Applied) == 0 {
+			t.Errorf("%s: nothing applied", name)
+		}
+	}
+}
+
+func TestScrubRespectsOptions(t *testing.T) {
+	img := MakeSIMG(100, 100, []SIMGRegion{
+		{Kind: RegionFace, Payload: []byte("face")},
+		{Kind: RegionWatermark, Payload: []byte("wm")},
+	})
+	res, err := Scrub("x.simg", img, Options{BlurFaces: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm, _ := HasWatermark(res.Data); !wm {
+		t.Fatal("watermark removed without being requested")
+	}
+	// The residual report must still flag it.
+	foundWM := false
+	for _, r := range res.Residual {
+		if r.Code == "image-watermark" {
+			foundWM = true
+		}
+	}
+	if !foundWM {
+		t.Fatalf("residual risks missing watermark: %v", res.Residual)
+	}
+}
+
+// Property: scrubbing a JPEG with arbitrary metadata always yields a
+// parsable JPEG with no metadata and the identical body.
+func TestPropertyScrubJPEGTotal(t *testing.T) {
+	f := func(mk, mdl, serial, lat string, body []byte) bool {
+		meta := EXIFMeta{Make: clamp(mk), Model: clamp(mdl), Serial: clamp(serial), GPSLat: clamp(lat)}
+		jpg := MakeJPEG(meta, body)
+		clean, err := ScrubJPEG(jpg)
+		if err != nil {
+			return false
+		}
+		got, gotBody, err := ParseJPEG(clean)
+		return err == nil && got.empty() && bytes.Equal(gotBody, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clamp keeps generated strings printable-ASCII and NUL-free so they
+// are valid TIFF ASCII fields.
+func clamp(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r >= 32 && r < 127 {
+			out = append(out, r)
+		}
+		if len(out) >= 40 {
+			break
+		}
+	}
+	return string(out)
+}
+
+// Property: SIMG round trip preserves regions exactly.
+func TestPropertySIMGRoundTrip(t *testing.T) {
+	f := func(xs []uint16, payload []byte) bool {
+		var regions []SIMGRegion
+		kinds := []string{RegionPixels, RegionFace, RegionWatermark}
+		for i := 0; i+3 < len(xs) && i/4 < 8; i += 4 {
+			regions = append(regions, SIMGRegion{
+				Kind: kinds[i%3], X: xs[i], Y: xs[i+1], W: xs[i+2], H: xs[i+3],
+				Payload: payload,
+			})
+		}
+		img := MakeSIMG(2000, 1000, regions)
+		w, h, back, err := ParseSIMG(img)
+		if err != nil || w != 2000 || h != 1000 || len(back) != len(regions) {
+			return false
+		}
+		for i := range regions {
+			if back[i].Kind != regions[i].Kind || back[i].X != regions[i].X ||
+				!bytes.Equal(back[i].Payload, regions[i].Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

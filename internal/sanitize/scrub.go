@@ -1,0 +1,207 @@
+package sanitize
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Severity grades a detected risk.
+type Severity int
+
+// Severity levels.
+const (
+	Info Severity = iota
+	Warning
+	Critical
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Critical:
+		return "critical"
+	}
+	return "unknown"
+}
+
+// Risk is one finding from the automated analysis the SaniVM presents
+// to the user before a transfer (section 3.6: "attempt to identify
+// potential risks such as hidden metadata or visible faces in photos,
+// present the user a list of these files and potential risks").
+type Risk struct {
+	Severity Severity
+	Code     string // stable identifier, e.g. "exif-gps"
+	Detail   string
+}
+
+func (r Risk) String() string {
+	return fmt.Sprintf("[%s] %s: %s", r.Severity, r.Code, r.Detail)
+}
+
+// Analyze inspects a file and reports every identifying risk found.
+func Analyze(name string, data []byte) []Risk {
+	var risks []Risk
+	switch {
+	case IsJPEG(data):
+		meta, _, err := ParseJPEG(data)
+		if err != nil {
+			return []Risk{{Warning, "jpeg-malformed", err.Error()}}
+		}
+		if meta.GPSLat != "" || meta.GPSLon != "" {
+			risks = append(risks, Risk{Critical, "exif-gps",
+				fmt.Sprintf("GPS coordinates %s/%s reveal where the photo was taken", meta.GPSLat, meta.GPSLon)})
+		}
+		if meta.Serial != "" {
+			risks = append(risks, Risk{Critical, "exif-serial",
+				"camera body serial number " + meta.Serial + " links this photo to the device owner"})
+		}
+		if meta.Make != "" || meta.Model != "" {
+			risks = append(risks, Risk{Warning, "exif-device",
+				fmt.Sprintf("camera make/model %q %q narrows the device population", meta.Make, meta.Model)})
+		}
+		if meta.Software != "" {
+			risks = append(risks, Risk{Info, "exif-software", "editing software " + meta.Software})
+		}
+	case IsPNG(data):
+		meta, err := PNGTextMeta(data)
+		if err != nil {
+			return []Risk{{Warning, "png-malformed", err.Error()}}
+		}
+		for k, v := range meta {
+			sev := Warning
+			if strings.EqualFold(k, "author") || strings.EqualFold(k, "location") {
+				sev = Critical
+			}
+			risks = append(risks, Risk{sev, "png-text", fmt.Sprintf("text chunk %s=%q", k, v)})
+		}
+	case IsDOCX(data):
+		meta, err := ParseDOCXMeta(data)
+		if err != nil {
+			return []Risk{{Warning, "docx-malformed", err.Error()}}
+		}
+		if meta.Creator != "" {
+			risks = append(risks, Risk{Critical, "docx-creator", "document creator " + meta.Creator})
+		}
+		if meta.LastModifiedBy != "" {
+			risks = append(risks, Risk{Warning, "docx-modifier", "last modified by " + meta.LastModifiedBy})
+		}
+	case IsPDF(data):
+		meta, err := ParsePDFMeta(data)
+		if err != nil {
+			return []Risk{{Warning, "pdf-malformed", err.Error()}}
+		}
+		if meta.Author != "" {
+			risks = append(risks, Risk{Critical, "pdf-author", "PDF author " + meta.Author})
+		}
+		if meta.Creator != "" {
+			risks = append(risks, Risk{Warning, "pdf-creator", "producing application " + meta.Creator})
+		}
+		if hidden := PDFHiddenText(data); len(hidden) > 0 {
+			risks = append(risks, Risk{Critical, "pdf-hidden-text",
+				fmt.Sprintf("%d invisible text object(s); metadata stripping cannot remove them", len(hidden))})
+		}
+	case IsSIMG(data):
+		faces, err := DetectFaces(data)
+		if err != nil {
+			return []Risk{{Warning, "image-malformed", err.Error()}}
+		}
+		if len(faces) > 0 {
+			risks = append(risks, Risk{Critical, "image-faces",
+				fmt.Sprintf("%d detectable face(s)", len(faces))})
+		}
+		if wm, _ := HasWatermark(data); wm {
+			risks = append(risks, Risk{Warning, "image-watermark",
+				"embedded watermark signal may identify the source device or purchaser"})
+		}
+	default:
+		risks = append(risks, Risk{Info, "unknown-format",
+			fmt.Sprintf("no analyzer for %q; scrubbers cannot inspect it", name)})
+	}
+	return risks
+}
+
+// Options selects scrubbing transformations — the user's "paranoia
+// level" (section 3.6).
+type Options struct {
+	StripMetadata     bool // (a) scrub EXIF/text/core metadata
+	BlurFaces         bool // (b) blur detectable faces
+	DisruptWatermarks bool // (c) reduce resolution + noise
+	Rasterize         bool // documents: rebuild as page bitmaps
+}
+
+// AllOptions is the maximum-paranoia setting.
+var AllOptions = Options{StripMetadata: true, BlurFaces: true, DisruptWatermarks: true, Rasterize: true}
+
+// Result reports what the scrubber did.
+type Result struct {
+	Data     []byte
+	Applied  []string // transformations performed
+	Residual []Risk   // risks remaining after scrubbing
+}
+
+// Scrub applies the selected transformations to a file.
+func Scrub(name string, data []byte, opts Options) (Result, error) {
+	out := append([]byte(nil), data...)
+	var applied []string
+	var err error
+	switch {
+	case IsJPEG(out):
+		if opts.StripMetadata {
+			if out, err = ScrubJPEG(out); err != nil {
+				return Result{}, err
+			}
+			applied = append(applied, "jpeg-metadata-strip")
+		}
+	case IsPNG(out):
+		if opts.StripMetadata {
+			if out, err = ScrubPNG(out); err != nil {
+				return Result{}, err
+			}
+			applied = append(applied, "png-metadata-strip")
+		}
+	case IsDOCX(out):
+		if opts.StripMetadata {
+			if out, err = ScrubDOCX(out); err != nil {
+				return Result{}, err
+			}
+			applied = append(applied, "docx-metadata-strip")
+		}
+	case IsPDF(out):
+		if opts.Rasterize {
+			if out, err = RasterizePDF(out); err != nil {
+				return Result{}, err
+			}
+			applied = append(applied, "pdf-rasterize")
+		} else if opts.StripMetadata {
+			if out, err = ScrubPDFMeta(out); err != nil {
+				return Result{}, err
+			}
+			applied = append(applied, "pdf-metadata-strip")
+		}
+	case IsSIMG(out):
+		if opts.BlurFaces {
+			if out, err = BlurFaces(out); err != nil {
+				return Result{}, err
+			}
+			applied = append(applied, "face-blur")
+		}
+		if opts.DisruptWatermarks {
+			if out, err = DisruptWatermark(out, 0x2A); err != nil {
+				return Result{}, err
+			}
+			applied = append(applied, "watermark-disrupt")
+		}
+	}
+	residual := Analyze(name, out)
+	// Informational findings are not residual risks.
+	filtered := residual[:0]
+	for _, r := range residual {
+		if r.Severity > Info {
+			filtered = append(filtered, r)
+		}
+	}
+	return Result{Data: out, Applied: applied, Residual: filtered}, nil
+}

@@ -1,0 +1,167 @@
+package sanitize
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// SIMG is the simulation's raster image format with annotated regions,
+// standing in for what OpenCV extracts from real photos: face
+// bounding boxes (to blur) and embedded watermark signals (to disrupt
+// with noise and downscaling). The paper's scrubber offers exactly
+// those transformations as user-selectable "paranoia levels"
+// (section 3.6).
+
+// Region kinds.
+const (
+	RegionFace      = "FACE"
+	RegionWatermark = "WMRK"
+	RegionPixels    = "PIXL"
+)
+
+// SIMGRegion is one annotated region.
+type SIMGRegion struct {
+	Kind    string // FACE, WMRK, PIXL
+	X, Y    uint16
+	W, H    uint16
+	Payload []byte // pixel data / signal
+}
+
+var simgMagic = []byte("SIMG")
+
+// MakeSIMG assembles an image from regions.
+func MakeSIMG(width, height uint16, regions []SIMGRegion) []byte {
+	var out bytes.Buffer
+	out.Write(simgMagic)
+	binary.BigEndian.PutUint16(appendSpace(&out, 2), width)
+	binary.BigEndian.PutUint16(appendSpace(&out, 2), height)
+	binary.BigEndian.PutUint16(appendSpace(&out, 2), uint16(len(regions)))
+	for _, r := range regions {
+		kind := []byte(r.Kind)
+		if len(kind) != 4 {
+			panic("sanitize: SIMG region kind must be 4 bytes")
+		}
+		out.Write(kind)
+		for _, v := range []uint16{r.X, r.Y, r.W, r.H} {
+			binary.BigEndian.PutUint16(appendSpace(&out, 2), v)
+		}
+		binary.BigEndian.PutUint32(appendSpace(&out, 4), uint32(len(r.Payload)))
+		out.Write(r.Payload)
+	}
+	return out.Bytes()
+}
+
+// appendSpace grows the buffer by n bytes and returns the new slice
+// region for in-place encoding.
+func appendSpace(b *bytes.Buffer, n int) []byte {
+	start := b.Len()
+	b.Write(make([]byte, n))
+	return b.Bytes()[start:]
+}
+
+// IsSIMG sniffs the magic.
+func IsSIMG(data []byte) bool { return bytes.HasPrefix(data, simgMagic) }
+
+// ParseSIMG decodes an image.
+func ParseSIMG(data []byte) (width, height uint16, regions []SIMGRegion, err error) {
+	if !IsSIMG(data) || len(data) < 10 {
+		return 0, 0, nil, ErrFormat
+	}
+	width = binary.BigEndian.Uint16(data[4:])
+	height = binary.BigEndian.Uint16(data[6:])
+	n := int(binary.BigEndian.Uint16(data[8:]))
+	i := 10
+	for k := 0; k < n; k++ {
+		if i+16 > len(data) {
+			return 0, 0, nil, ErrFormat
+		}
+		r := SIMGRegion{
+			Kind: string(data[i : i+4]),
+			X:    binary.BigEndian.Uint16(data[i+4:]),
+			Y:    binary.BigEndian.Uint16(data[i+6:]),
+			W:    binary.BigEndian.Uint16(data[i+8:]),
+			H:    binary.BigEndian.Uint16(data[i+10:]),
+		}
+		plen := int(binary.BigEndian.Uint32(data[i+12:]))
+		if i+16+plen > len(data) {
+			return 0, 0, nil, ErrFormat
+		}
+		r.Payload = append([]byte(nil), data[i+16:i+16+plen]...)
+		regions = append(regions, r)
+		i += 16 + plen
+	}
+	return width, height, regions, nil
+}
+
+// DetectFaces returns the face regions (the OpenCV step).
+func DetectFaces(data []byte) ([]SIMGRegion, error) {
+	_, _, regions, err := ParseSIMG(data)
+	if err != nil {
+		return nil, err
+	}
+	var faces []SIMGRegion
+	for _, r := range regions {
+		if r.Kind == RegionFace {
+			faces = append(faces, r)
+		}
+	}
+	return faces, nil
+}
+
+// HasWatermark reports embedded watermark signals.
+func HasWatermark(data []byte) (bool, error) {
+	_, _, regions, err := ParseSIMG(data)
+	if err != nil {
+		return false, err
+	}
+	for _, r := range regions {
+		if r.Kind == RegionWatermark {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// BlurFaces replaces every face region's pixels with uniform blurred
+// content, keeping geometry.
+func BlurFaces(data []byte) ([]byte, error) {
+	w, h, regions, err := ParseSIMG(data)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range regions {
+		if r.Kind == RegionFace {
+			blurred := make([]byte, len(r.Payload))
+			for j := range blurred {
+				blurred[j] = 0x7F // flat gray: no identifying structure left
+			}
+			regions[i].Payload = blurred
+		}
+	}
+	return MakeSIMG(w, h, regions), nil
+}
+
+// DisruptWatermark reduces resolution and adds noise: watermark
+// regions are destroyed and pixel payloads are halved (the resolution
+// reduction) with a noise byte mixed in.
+func DisruptWatermark(data []byte, noise byte) ([]byte, error) {
+	w, h, regions, err := ParseSIMG(data)
+	if err != nil {
+		return nil, err
+	}
+	var out []SIMGRegion
+	for _, r := range regions {
+		if r.Kind == RegionWatermark {
+			continue // signal destroyed
+		}
+		half := append([]byte(nil), r.Payload[:len(r.Payload)/2]...)
+		for j := range half {
+			half[j] ^= noise
+		}
+		r.Payload = half
+		r.W /= 2
+		r.H /= 2
+		out = append(out, r)
+	}
+	return MakeSIMG(w/2, h/2, out), nil
+}

@@ -1,0 +1,163 @@
+package sim
+
+import "fmt"
+
+// Proc is a cooperative simulated process. A Proc runs in its own
+// goroutine but the engine guarantees that at most one Proc (or event
+// callback) executes at a time: a Proc only runs between Sleep/await
+// points, and the engine blocks while it does. This gives linear,
+// blocking-style code (boot the VM, then start Tor, then load the
+// page) deterministic discrete-event semantics without locks.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	parked chan struct{}
+	dead   bool
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Rand returns the engine's random source.
+func (p *Proc) Rand() *Rand { return p.eng.Rand() }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Go starts fn as a simulated process at the current simulated time.
+// The returned future completes (with the zero value) when fn returns.
+// fn must interact with simulated time only through p.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Future[struct{}] {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	done := NewFuture[struct{}](e)
+	e.Schedule(0, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.dead = true
+			done.Complete(struct{}{}, nil)
+			p.parked <- struct{}{}
+		}()
+		p.handoff()
+	})
+	return done
+}
+
+// handoff transfers control from the engine to the process goroutine
+// and blocks until the process parks again (sleeps, awaits, or exits).
+// It must be called from the engine goroutine.
+func (p *Proc) handoff() {
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// yield parks the process, returning control to the engine, and blocks
+// until the engine resumes it. It must be called from the process
+// goroutine, after arranging a wake-up.
+func (p *Proc) yield() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of simulated time.
+func (p *Proc) Sleep(d Time) {
+	if p.dead {
+		panic("sim: Sleep on dead proc " + p.name)
+	}
+	p.eng.Schedule(d, p.handoff)
+	p.yield()
+}
+
+// Await blocks the process until f completes and returns its result.
+func Await[T any](p *Proc, f *Future[T]) (T, error) {
+	if !f.done {
+		f.onDone(p.handoff)
+		p.yield()
+	}
+	if !f.done {
+		panic(fmt.Sprintf("sim: proc %s woke before future completed", p.name))
+	}
+	return f.val, f.err
+}
+
+// AwaitAll blocks until every future in fs completes, returning the
+// first error encountered (all futures are still drained).
+func AwaitAll[T any](p *Proc, fs ...*Future[T]) error {
+	var firstErr error
+	for _, f := range fs {
+		if _, err := Await(p, f); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Future is a one-shot container for a value produced at a later
+// simulated time. Completion callbacks run as zero-delay events.
+type Future[T any] struct {
+	eng  *Engine
+	done bool
+	val  T
+	err  error
+	subs []func()
+}
+
+// NewFuture returns an incomplete future bound to e.
+func NewFuture[T any](e *Engine) *Future[T] { return &Future[T]{eng: e} }
+
+// CompletedFuture returns a future that is already complete.
+func CompletedFuture[T any](e *Engine, val T, err error) *Future[T] {
+	return &Future[T]{eng: e, done: true, val: val, err: err}
+}
+
+// Complete resolves the future. Completing a future twice panics:
+// futures are one-shot by contract.
+func (f *Future[T]) Complete(val T, err error) {
+	if f.done {
+		panic("sim: future completed twice")
+	}
+	f.done = true
+	f.val = val
+	f.err = err
+	subs := f.subs
+	f.subs = nil
+	for _, fn := range subs {
+		fn()
+	}
+}
+
+// Done reports whether the future has completed.
+func (f *Future[T]) Done() bool { return f.done }
+
+// Value returns the result; it panics if the future is not done.
+func (f *Future[T]) Value() (T, error) {
+	if !f.done {
+		panic("sim: Value on incomplete future")
+	}
+	return f.val, f.err
+}
+
+// onDone registers fn to run when the future completes (immediately if
+// it already has). Callbacks run synchronously inside Complete, in
+// registration order.
+func (f *Future[T]) onDone(fn func()) {
+	if f.done {
+		fn()
+		return
+	}
+	f.subs = append(f.subs, fn)
+}
+
+// OnDone schedules fn as a zero-delay event when the future completes.
+func (f *Future[T]) OnDone(fn func()) {
+	f.onDone(func() { f.eng.Schedule(0, fn) })
+}

@@ -1,0 +1,204 @@
+package tracker
+
+import (
+	"math"
+	"testing"
+
+	"nymix/internal/sim"
+	"nymix/internal/webworld"
+)
+
+// visit builds a test observation.
+func visit(site, addr, cookie, fp, account string) webworld.Visit {
+	return webworld.Visit{Site: site, SourceAddr: addr, CookieID: cookie, Fingerprint: fp, Account: account}
+}
+
+func sharedExits(addrs ...string) Config {
+	cfg := DefaultConfig()
+	for _, a := range addrs {
+		cfg.SharedAddrs[a] = true
+	}
+	return cfg
+}
+
+func TestCookieLinksAcrossVisits(t *testing.T) {
+	cfg := sharedExits("exit-1", "exit-2")
+	clusters := Link(cfg, []webworld.Visit{
+		visit("twitter.com", "exit-1", "ck-A", "", "dissident47"),
+		visit("twitter.com", "exit-2", "ck-A", "", ""),
+	})
+	if len(clusters) != 1 || len(clusters[0].Identities) < 1 {
+		t.Fatalf("clusters = %+v", clusters)
+	}
+	if !Linked(clusters,
+		Identity{"twitter.com", "dissident47"},
+		Identity{"twitter.com", "ck-A"}) {
+		t.Fatal("same cookie not linked")
+	}
+}
+
+func TestSeparateNymsUnlinkable(t *testing.T) {
+	// Four nyms: distinct cookies, crowd fingerprint, shared exits.
+	// Four distinct cookies on the fingerprint put it in the crowd.
+	cfg := sharedExits("exit-1", "exit-2", "exit-3")
+	fp := "nymix-crowd"
+	clusters := Link(cfg, []webworld.Visit{
+		visit("twitter.com", "exit-1", "ck-A", fp, "alice-work"),
+		visit("gmail.com", "exit-2", "ck-B", fp, "alice-family"),
+		visit("facebook.com", "exit-3", "ck-C", fp, "alice-preg"),
+		visit("bbc.co.uk", "exit-1", "ck-D", fp, ""),
+	})
+	if got := LargestCluster(clusters); got != 1 {
+		t.Fatalf("largest cluster = %d, want 1 (unlinkable): %+v", got, clusters)
+	}
+}
+
+func TestUniqueFingerprintLinksEverything(t *testing.T) {
+	// The Tails/native baseline: one browser, distinct per-user
+	// fingerprint across sites. Two cookies < crowd threshold.
+	cfg := sharedExits("exit-1", "exit-2")
+	fp := "firefox-24/bob-machine/1366x768"
+	clusters := Link(cfg, []webworld.Visit{
+		visit("twitter.com", "exit-1", "ck-A", fp, "dissident47"),
+		visit("gmail.com", "exit-2", "ck-B", fp, "bob.real"),
+	})
+	if !Linked(clusters,
+		Identity{"twitter.com", "dissident47"},
+		Identity{"gmail.com", "bob.real"}) {
+		t.Fatal("unique fingerprint failed to link")
+	}
+}
+
+func TestStainBreaksCrowd(t *testing.T) {
+	// Many users share the crowd fingerprint, but a stained browser is
+	// unique and linkable across its nym's sessions.
+	cfg := sharedExits("exit-1")
+	crowd := "nymix-crowd"
+	stained := crowd + "/stain:m1"
+	visits := []webworld.Visit{
+		visit("a.com", "exit-1", "ck-1", crowd, ""),
+		visit("b.com", "exit-1", "ck-2", crowd, ""),
+		visit("c.com", "exit-1", "ck-3", crowd, ""),
+		visit("d.com", "exit-1", "ck-4", crowd, ""),
+		visit("twitter.com", "exit-1", "ck-S1", stained, "victim"),
+		visit("gmail.com", "exit-1", "ck-S2", stained, "victim-mail"),
+	}
+	clusters := Link(cfg, visits)
+	if !Linked(clusters, Identity{"twitter.com", "victim"}, Identity{"gmail.com", "victim-mail"}) {
+		t.Fatal("stained fingerprint not linked")
+	}
+	if Linked(clusters, Identity{"a.com", "ck-1"}, Identity{"b.com", "ck-2"}) {
+		t.Fatal("crowd members wrongly linked")
+	}
+}
+
+func TestRealAddressLinks(t *testing.T) {
+	// Incognito mode: both sites see the same household NAT address.
+	cfg := DefaultConfig() // no shared addrs
+	clusters := Link(cfg, []webworld.Visit{
+		visit("twitter.com", "host-203.0.113.7", "ck-A", "crowd", "persona1"),
+		visit("gmail.com", "host-203.0.113.7", "ck-B", "crowd", "persona2"),
+	})
+	if !Linked(clusters, Identity{"twitter.com", "persona1"}, Identity{"gmail.com", "persona2"}) {
+		t.Fatal("shared real address not linked")
+	}
+}
+
+func TestSharedExitDoesNotLink(t *testing.T) {
+	cfg := sharedExits("exit-1")
+	clusters := Link(cfg, []webworld.Visit{
+		visit("a.com", "exit-1", "ck-1", "crowd", ""),
+		visit("b.com", "exit-1", "ck-2", "crowd", ""),
+		visit("c.com", "exit-1", "ck-3", "crowd", ""),
+		visit("d.com", "exit-1", "ck-4", "crowd", ""),
+	})
+	if got := LargestCluster(clusters); got != 1 {
+		t.Fatalf("exit address linked strangers: %d", got)
+	}
+}
+
+func TestIntersectionAnonymityShrinks(t *testing.T) {
+	users := func(names ...string) []string { return names }
+	rounds := []IntersectionRound{
+		{Online: users("alice", "bob", "carol", "dave", "eve"), Posted: true},
+		{Online: users("alice", "bob", "dave"), Posted: false}, // no post: no info
+		{Online: users("alice", "bob", "eve"), Posted: true},
+		{Online: users("alice", "carol", "eve"), Posted: true},
+		{Online: users("alice", "dave"), Posted: true},
+	}
+	sizes := IntersectionAnonymity(rounds)
+	want := []int{5, 3, 2, 1}
+	if len(sizes) != len(want) {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", sizes, want)
+		}
+	}
+	// Monotone non-increasing by construction.
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] > sizes[i-1] {
+			t.Fatal("candidate set grew")
+		}
+	}
+}
+
+func TestIntersectionNoPosts(t *testing.T) {
+	if sizes := IntersectionAnonymity([]IntersectionRound{{Online: []string{"a"}, Posted: false}}); len(sizes) != 0 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestGuardExposureAnalytic(t *testing.T) {
+	// One session: identical either way.
+	if r, p := GuardExposure(1, 0.1, true), GuardExposure(1, 0.1, false); math.Abs(r-p) > 1e-12 {
+		t.Fatalf("one-session exposure differs: %v vs %v", r, p)
+	}
+	// Rotation compounds: 30 sessions at 5% malicious.
+	rot := GuardExposure(30, 0.05, true)
+	per := GuardExposure(30, 0.05, false)
+	if per != 0.05 {
+		t.Fatalf("persistent exposure = %v", per)
+	}
+	want := 1 - math.Pow(0.95, 30)
+	if math.Abs(rot-want) > 1e-9 {
+		t.Fatalf("rotating exposure = %v, want %v", rot, want)
+	}
+	if rot < 3*per {
+		t.Fatalf("rotation should be far riskier: %v vs %v", rot, per)
+	}
+	if GuardExposure(0, 0.5, true) != 0 {
+		t.Fatal("zero sessions must have zero exposure")
+	}
+}
+
+func TestSimulateGuardExposureMatchesAnalytic(t *testing.T) {
+	rng := sim.NewRand(99)
+	for _, rotate := range []bool{true, false} {
+		got := SimulateGuardExposure(rng, 20000, 20, 0.07, rotate)
+		want := GuardExposure(20, 0.07, rotate)
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("rotate=%v: simulated %v, analytic %v", rotate, got, want)
+		}
+	}
+}
+
+func TestClusterEvidenceReported(t *testing.T) {
+	cfg := DefaultConfig()
+	clusters := Link(cfg, []webworld.Visit{
+		visit("a.com", "addr-1", "ck-1", "", ""),
+		visit("b.com", "addr-1", "ck-2", "", ""),
+	})
+	found := false
+	for _, c := range clusters {
+		for _, e := range c.Evidence {
+			if e == "address" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no address evidence in %+v", clusters)
+	}
+}

@@ -1,0 +1,405 @@
+package unionfs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustStack(t *testing.T, layers ...*Layer) *FS {
+	t.Helper()
+	fs, err := Stack(layers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func threeLayerFS(t *testing.T) (*FS, *Layer, *Layer, *Layer) {
+	t.Helper()
+	base := NewLayer("base")
+	base.put("/etc/hostname", &File{Data: []byte("nymix")})
+	base.put("/etc/rc.local", &File{Data: []byte("#!/bin/sh\n")})
+	base.put("/usr/lib/libbig.so", &File{VirtualSize: 1 << 20, Entropy: 0.9})
+	base.Seal()
+	conf := NewLayer("conf-anonvm")
+	conf.put("/etc/rc.local", &File{Data: []byte("#!/bin/sh\nstart-browser\n")})
+	conf.put("/etc/network", &File{Data: []byte("iface eth0 -> commvm")})
+	conf.Seal()
+	top := NewLayer("tmpfs")
+	return mustStack(t, top, conf, base), top, conf, base
+}
+
+func TestReadFallsThroughLayers(t *testing.T) {
+	fs, _, _, _ := threeLayerFS(t)
+	got, err := fs.ReadFile("/etc/hostname")
+	if err != nil || string(got) != "nymix" {
+		t.Fatalf("hostname = %q, %v", got, err)
+	}
+	// Config layer masks the base rc.local.
+	got, err = fs.ReadFile("/etc/rc.local")
+	if err != nil || string(got) != "#!/bin/sh\nstart-browser\n" {
+		t.Fatalf("rc.local = %q, %v", got, err)
+	}
+	info, err := fs.Stat("/etc/rc.local")
+	if err != nil || info.Layer != "conf-anonvm" {
+		t.Fatalf("rc.local layer = %+v, %v", info, err)
+	}
+}
+
+func TestWritesGoToTopLayerOnly(t *testing.T) {
+	fs, top, _, base := threeLayerFS(t)
+	if err := fs.WriteFile("/etc/hostname", []byte("changed")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("/etc/hostname")
+	if string(got) != "changed" {
+		t.Fatalf("read = %q", got)
+	}
+	if string(base.files["/etc/hostname"].Data) != "nymix" {
+		t.Fatal("base layer mutated by write")
+	}
+	if _, ok := top.files["/etc/hostname"]; !ok {
+		t.Fatal("write did not land in top layer")
+	}
+}
+
+func TestWhiteoutMasksLowerLayers(t *testing.T) {
+	fs, _, _, _ := threeLayerFS(t)
+	if err := fs.Remove("/etc/hostname"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/etc/hostname") {
+		t.Fatal("removed file still visible")
+	}
+	if _, err := fs.ReadFile("/etc/hostname"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+	// Rewriting resurrects the path in the top layer.
+	if err := fs.WriteFile("/etc/hostname", []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("/etc/hostname")
+	if string(got) != "back" {
+		t.Fatalf("read = %q", got)
+	}
+}
+
+func TestRemoveTopOnlyFileNeedsNoWhiteout(t *testing.T) {
+	fs, top, _, _ := threeLayerFS(t)
+	fs.WriteFile("/tmp/scratch", []byte("x"))
+	if err := fs.Remove("/tmp/scratch"); err != nil {
+		t.Fatal(err)
+	}
+	if len(top.whiteouts) != 0 {
+		t.Fatalf("needless whiteout created: %v", top.whiteouts)
+	}
+	if err := fs.Remove("/tmp/scratch"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestSealedLowerLayersRequired(t *testing.T) {
+	top := NewLayer("top")
+	lower := NewLayer("lower") // not sealed
+	if _, err := Stack(top, lower); err == nil {
+		t.Fatal("unsealed lower layer accepted")
+	}
+	if _, err := Stack(); err == nil {
+		t.Fatal("empty stack accepted")
+	}
+}
+
+func TestSealedTopRejectsWrites(t *testing.T) {
+	top := NewLayer("top").Seal()
+	fs := mustStack(t, top)
+	if err := fs.WriteFile("/x", []byte("y")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("err = %v, want ErrReadOnly", err)
+	}
+}
+
+func TestVirtualFilesAndGrow(t *testing.T) {
+	fs, _, _, _ := threeLayerFS(t)
+	if err := fs.WriteVirtual("/cache/blob", 1000, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.GrowVirtual("/cache/blob", 3000, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat("/cache/blob")
+	if err != nil || info.Size != 4000 {
+		t.Fatalf("size = %d, %v", info.Size, err)
+	}
+	// Entropy is the size-weighted mix: (0.5*1000 + 1.0*3000)/4000.
+	if info.Entropy < 0.874 || info.Entropy > 0.876 {
+		t.Fatalf("entropy = %v, want 0.875", info.Entropy)
+	}
+	if _, err := fs.ReadFile("/cache/blob"); err == nil {
+		t.Fatal("virtual file returned bytes")
+	}
+}
+
+func TestGrowVirtualCopiesUpFromLowerLayer(t *testing.T) {
+	fs, top, _, base := threeLayerFS(t)
+	if err := fs.GrowVirtual("/usr/lib/libbig.so", 4096, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := top.files["/usr/lib/libbig.so"]; !ok {
+		t.Fatal("grow did not copy up")
+	}
+	if base.files["/usr/lib/libbig.so"].VirtualSize != 1<<20 {
+		t.Fatal("base layer mutated")
+	}
+	info, _ := fs.Stat("/usr/lib/libbig.so")
+	if info.Size != 1<<20+4096 {
+		t.Fatalf("size = %d", info.Size)
+	}
+}
+
+func TestGrowVirtualClampsAtZero(t *testing.T) {
+	fs, _, _, _ := threeLayerFS(t)
+	fs.WriteVirtual("/c", 100, 1)
+	if err := fs.GrowVirtual("/c", -500, 0); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs.Stat("/c")
+	if info.Size != 0 {
+		t.Fatalf("size = %d, want 0", info.Size)
+	}
+}
+
+func TestListUnionView(t *testing.T) {
+	fs, _, _, _ := threeLayerFS(t)
+	fs.WriteFile("/etc/new", []byte("n"))
+	fs.Remove("/etc/hostname")
+	infos := fs.List("/etc")
+	var paths []string
+	for _, fi := range infos {
+		paths = append(paths, fi.Path)
+	}
+	want := []string{"/etc/network", "/etc/new", "/etc/rc.local"}
+	if len(paths) != len(want) {
+		t.Fatalf("paths = %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("paths = %v, want %v", paths, want)
+		}
+	}
+	// rc.local must come from the conf layer, not base.
+	for _, fi := range infos {
+		if fi.Path == "/etc/rc.local" && fi.Layer != "conf-anonvm" {
+			t.Fatalf("rc.local from %s", fi.Layer)
+		}
+	}
+}
+
+func TestDeltaHookTracksUsage(t *testing.T) {
+	var ram int64
+	top := NewLayer("tmpfs")
+	top.SetDeltaFunc(func(d int64) { ram += d })
+	fs := mustStack(t, top)
+	fs.WriteFile("/a", make([]byte, 100))
+	fs.WriteVirtual("/b", 1000, 1)
+	if ram != 1100 {
+		t.Fatalf("ram = %d, want 1100", ram)
+	}
+	fs.WriteFile("/a", make([]byte, 40)) // overwrite smaller
+	if ram != 1040 {
+		t.Fatalf("ram = %d, want 1040", ram)
+	}
+	fs.GrowVirtual("/b", 500, 1)
+	if ram != 1540 {
+		t.Fatalf("ram = %d, want 1540", ram)
+	}
+	fs.Remove("/a")
+	if ram != 1500 {
+		t.Fatalf("ram = %d, want 1500", ram)
+	}
+	top.Clear()
+	if ram != 0 {
+		t.Fatalf("ram = %d after clear, want 0", ram)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	_, top, _, _ := threeLayerFS(t)
+	top.put("/w", &File{Data: []byte("www")})
+	top.put("/v", &File{VirtualSize: 777, Entropy: 0.3})
+	top.whiteouts["/gone"] = true
+	img := top.Export()
+	back := Import(img)
+	if string(back.files["/w"].Data) != "www" {
+		t.Fatal("data lost in round trip")
+	}
+	if back.files["/v"].VirtualSize != 777 || back.files["/v"].Entropy != 0.3 {
+		t.Fatal("virtual metadata lost")
+	}
+	if !back.whiteouts["/gone"] {
+		t.Fatal("whiteout lost")
+	}
+	// Mutating the export must not affect the original.
+	img.Files["/w"].Data[0] = 'X'
+	if top.files["/w"].Data[0] != 'w' {
+		t.Fatal("export aliases original data")
+	}
+}
+
+func TestEmptyRealFileStaysReal(t *testing.T) {
+	// Regression: an empty real file must not degrade into a virtual
+	// file through writes, clones, or export/import (nil vs empty
+	// slice, and gob's inability to tell them apart).
+	l := NewLayer("l")
+	fs := mustStack(t, l)
+	if err := fs.WriteFile("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/empty")
+	if err != nil {
+		t.Fatalf("empty real file became virtual: %v", err)
+	}
+	if data == nil || len(data) != 0 {
+		t.Fatalf("data = %v", data)
+	}
+	info, _ := fs.Stat("/empty")
+	if info.Virtual {
+		t.Fatal("stat reports virtual")
+	}
+	// Survives clone.
+	c := l.Clone()
+	cfs := mustStack(t, c)
+	if _, err := cfs.ReadFile("/empty"); err != nil {
+		t.Fatalf("clone lost emptiness: %v", err)
+	}
+	// Survives export/import.
+	back := Import(l.Export())
+	bfs := mustStack(t, back)
+	if _, err := bfs.ReadFile("/empty"); err != nil {
+		t.Fatalf("export/import lost emptiness: %v", err)
+	}
+	// And is distinct from a zero-size virtual file.
+	fs.WriteVirtual("/virt0", 0, 0)
+	if _, err := fs.ReadFile("/virt0"); err == nil {
+		t.Fatal("virtual file readable")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	l := NewLayer("l")
+	l.put("/f", &File{Data: []byte("abc")})
+	c := l.Clone()
+	c.files["/f"].Data[0] = 'X'
+	if l.files["/f"].Data[0] != 'a' {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestPathNormalization(t *testing.T) {
+	top := NewLayer("top")
+	fs := mustStack(t, top)
+	fs.WriteFile("etc//passwd", []byte("x"))
+	if !fs.Exists("/etc/passwd") {
+		t.Fatal("relative path not normalized")
+	}
+	got, err := fs.ReadFile("/etc/../etc/passwd")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("dot-dot path: %q %v", got, err)
+	}
+}
+
+func TestTotalSize(t *testing.T) {
+	fs, _, _, _ := threeLayerFS(t)
+	fs.WriteVirtual("/cache/a", 100, 1)
+	fs.WriteVirtual("/cache/b", 200, 1)
+	if got := fs.TotalSize("/cache"); got != 300 {
+		t.Fatalf("total = %d", got)
+	}
+	all := fs.TotalSize("/")
+	if all <= 300 {
+		t.Fatalf("root total = %d, want > 300", all)
+	}
+}
+
+// Property: the union view always reports exactly the contents of the
+// most recent write per path, regardless of operation interleaving.
+func TestPropertyLastWriteWins(t *testing.T) {
+	paths := []string{"/a", "/b", "/c", "/d"}
+	f := func(ops []uint8) bool {
+		base := NewLayer("base")
+		for _, p := range paths {
+			base.put(p, &File{Data: []byte("base" + p)})
+		}
+		base.Seal()
+		top := NewLayer("top")
+		fs, _ := Stack(top, base)
+		want := map[string]string{}
+		for _, p := range paths {
+			want[p] = "base" + p
+		}
+		for i, op := range ops {
+			p := paths[int(op)%len(paths)]
+			switch (op >> 2) % 3 {
+			case 0, 1:
+				v := string(rune('A' + i%26))
+				if err := fs.WriteFile(p, []byte(v)); err != nil {
+					return false
+				}
+				want[p] = v
+			case 2:
+				err := fs.Remove(p)
+				if _, exists := want[p]; exists {
+					if err != nil {
+						return false
+					}
+					delete(want, p)
+				} else if err == nil {
+					return false
+				}
+			}
+		}
+		for _, p := range paths {
+			got, err := fs.ReadFile(p)
+			wantV, exists := want[p]
+			if exists != (err == nil) {
+				return false
+			}
+			if exists && string(got) != wantV {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: export/import is an exact round trip for any layer
+// contents.
+func TestPropertyExportImportIdentity(t *testing.T) {
+	f := func(names []uint8, sizes []uint16) bool {
+		l := NewLayer("x")
+		for i, n := range names {
+			p := "/" + string(rune('a'+n%16))
+			if i < len(sizes) && sizes[i]%2 == 0 {
+				l.put(p, &File{VirtualSize: int64(sizes[i]), Entropy: float64(n%100) / 100})
+			} else {
+				l.put(p, &File{Data: []byte{n, n + 1}})
+			}
+		}
+		back := Import(l.Export())
+		if len(back.files) != len(l.files) {
+			return false
+		}
+		for p, f1 := range l.files {
+			f2, ok := back.files[p]
+			if !ok || f1.Size() != f2.Size() || f1.Entropy != f2.Entropy {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

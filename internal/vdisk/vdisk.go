@@ -1,0 +1,142 @@
+// Package vdisk models the virtual disks Nymix attaches to its VMs: a
+// union-file-system stack with a capacity-limited, RAM-backed writable
+// layer. Per the paper (section 4.2), "the writable image can either
+// be tossed at the end of a session or stored in the cloud for
+// quasi-persistent data stores", and its bytes are charged against
+// host RAM.
+package vdisk
+
+import (
+	"errors"
+	"fmt"
+
+	"nymix/internal/unionfs"
+)
+
+// ErrDiskFull is returned when a write would exceed the disk's
+// writable capacity.
+var ErrDiskFull = errors.New("vdisk: disk full")
+
+// Disk is one VM-attached virtual disk.
+type Disk struct {
+	name     string
+	capacity int64 // writable-layer capacity in bytes; 0 = unlimited
+	fs       *unionfs.FS
+}
+
+// New builds a disk from sealed base layers (given top-most lower
+// layer first) with a fresh writable layer of the given capacity.
+func New(name string, capacity int64, lower ...*unionfs.Layer) (*Disk, error) {
+	layers := append([]*unionfs.Layer{unionfs.NewLayer(name + "/writable")}, lower...)
+	fs, err := unionfs.Stack(layers...)
+	if err != nil {
+		return nil, err
+	}
+	return &Disk{name: name, capacity: capacity, fs: fs}, nil
+}
+
+// Name returns the disk's name.
+func (d *Disk) Name() string { return d.name }
+
+// Capacity returns the writable layer's capacity in bytes.
+func (d *Disk) Capacity() int64 { return d.capacity }
+
+// Used returns bytes currently stored in the writable layer.
+func (d *Disk) Used() int64 { return d.fs.Top().UsedBytes() }
+
+// Free returns remaining writable capacity.
+func (d *Disk) Free() int64 {
+	if d.capacity == 0 {
+		return 1 << 62
+	}
+	return d.capacity - d.Used()
+}
+
+// FS exposes the union view for reads (and direct writes by callers
+// that have already checked capacity, such as image builders).
+func (d *Disk) FS() *unionfs.FS { return d.fs }
+
+// SetDeltaFunc forwards a byte-accounting hook to the writable layer,
+// so the hypervisor can charge tmpfs usage against host RAM.
+func (d *Disk) SetDeltaFunc(fn func(int64)) { d.fs.Top().SetDeltaFunc(fn) }
+
+func (d *Disk) checkRoom(delta int64) error {
+	if d.capacity != 0 && delta > 0 && d.Used()+delta > d.capacity {
+		return fmt.Errorf("%w: %s (%d used of %d)", ErrDiskFull, d.name, d.Used(), d.capacity)
+	}
+	return nil
+}
+
+// WriteFile writes real bytes, enforcing capacity.
+func (d *Disk) WriteFile(path string, data []byte) error {
+	var old int64
+	if info, err := d.fs.Stat(path); err == nil && info.Layer == d.fs.Top().Name() {
+		old = info.Size
+	}
+	if err := d.checkRoom(int64(len(data)) - old); err != nil {
+		return err
+	}
+	return d.fs.WriteFile(path, data)
+}
+
+// WriteVirtual writes a virtual file, enforcing capacity.
+func (d *Disk) WriteVirtual(path string, size int64, entropy float64) error {
+	var old int64
+	if info, err := d.fs.Stat(path); err == nil && info.Layer == d.fs.Top().Name() {
+		old = info.Size
+	}
+	if err := d.checkRoom(size - old); err != nil {
+		return err
+	}
+	return d.fs.WriteVirtual(path, size, entropy)
+}
+
+// GrowVirtual extends a virtual file, enforcing capacity.
+func (d *Disk) GrowVirtual(path string, delta int64, entropy float64) error {
+	if err := d.checkRoom(delta); err != nil {
+		return err
+	}
+	return d.fs.GrowVirtual(path, delta, entropy)
+}
+
+// Remove deletes a path from the union view.
+func (d *Disk) Remove(path string) error { return d.fs.Remove(path) }
+
+// Snapshot exports the writable layer for archiving (the
+// quasi-persistent nym state of section 3.5).
+func (d *Disk) Snapshot() unionfs.Image { return d.fs.Top().Export() }
+
+// Restore replaces the writable layer's contents with a previously
+// snapshotted image, preserving the delta hook and capacity.
+func (d *Disk) Restore(img unionfs.Image) error {
+	restored := unionfs.Import(img)
+	if d.capacity != 0 && restored.UsedBytes() > d.capacity {
+		return fmt.Errorf("%w: restore of %d bytes into %d-byte disk %s",
+			ErrDiskFull, restored.UsedBytes(), d.capacity, d.name)
+	}
+	top := d.fs.Top()
+	top.Clear()
+	for p, fi := range img.Files {
+		if fi.Real {
+			if err := d.fs.WriteFile(p, fi.Data); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := d.fs.WriteVirtual(p, fi.VirtualSize, fi.Entropy); err != nil {
+			return err
+		}
+	}
+	for _, p := range img.Whiteouts {
+		if d.fs.Exists(p) {
+			if err := d.fs.Remove(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Discard clears the writable layer: the fate of every ephemeral nym's
+// disk, wiped when the pseudonym ends.
+func (d *Disk) Discard() { d.fs.Top().Clear() }

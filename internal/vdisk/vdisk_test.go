@@ -1,0 +1,137 @@
+package vdisk
+
+import (
+	"errors"
+	"testing"
+
+	"nymix/internal/unionfs"
+)
+
+func baseLayer() *unionfs.Layer {
+	base := unionfs.NewLayer("base")
+	fs, _ := unionfs.Stack(base)
+	fs.WriteFile("/etc/os-release", []byte("nymix"))
+	fs.WriteVirtual("/usr/big", 1<<20, 0.8)
+	return base.Seal()
+}
+
+func TestNewAndReadThrough(t *testing.T) {
+	d, err := New("anonvm-disk", 1000, baseLayer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.FS().ReadFile("/etc/os-release")
+	if err != nil || string(got) != "nymix" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	if d.Used() != 0 {
+		t.Fatalf("fresh disk used = %d", d.Used())
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	d, _ := New("d", 100, baseLayer())
+	if err := d.WriteFile("/a", make([]byte, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteFile("/b", make([]byte, 60)); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("err = %v, want ErrDiskFull", err)
+	}
+	// Overwriting the same file only charges the delta.
+	if err := d.WriteFile("/a", make([]byte, 100)); err != nil {
+		t.Fatalf("overwrite within capacity failed: %v", err)
+	}
+	if d.Used() != 100 || d.Free() != 0 {
+		t.Fatalf("used=%d free=%d", d.Used(), d.Free())
+	}
+}
+
+func TestVirtualCapacity(t *testing.T) {
+	d, _ := New("d", 1000, baseLayer())
+	if err := d.WriteVirtual("/cache", 800, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.GrowVirtual("/cache", 300, 1); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("err = %v, want ErrDiskFull", err)
+	}
+	if err := d.GrowVirtual("/cache", 200, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Used() != 1000 {
+		t.Fatalf("used = %d", d.Used())
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	d, _ := New("d", 10000, baseLayer())
+	d.WriteFile("/home/user/creds", []byte("tok"))
+	d.WriteVirtual("/home/user/cache", 5000, 0.9)
+	d.Remove("/etc/os-release") // whiteout over base
+	img := d.Snapshot()
+
+	d2, _ := New("d2", 10000, baseLayer())
+	if err := d2.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d2.FS().ReadFile("/home/user/creds")
+	if err != nil || string(got) != "tok" {
+		t.Fatalf("creds = %q, %v", got, err)
+	}
+	info, err := d2.FS().Stat("/home/user/cache")
+	if err != nil || info.Size != 5000 {
+		t.Fatalf("cache = %+v, %v", info, err)
+	}
+	if d2.FS().Exists("/etc/os-release") {
+		t.Fatal("whiteout not restored")
+	}
+}
+
+func TestRestoreTooLargeRejected(t *testing.T) {
+	big, _ := New("big", 0, baseLayer())
+	big.WriteVirtual("/x", 5000, 1)
+	img := big.Snapshot()
+	small, _ := New("small", 100, baseLayer())
+	if err := small.Restore(img); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("err = %v, want ErrDiskFull", err)
+	}
+}
+
+func TestDiscardWipesWritableKeepsBase(t *testing.T) {
+	d, _ := New("d", 1000, baseLayer())
+	d.WriteFile("/secret", []byte("s"))
+	d.Discard()
+	if d.Used() != 0 {
+		t.Fatalf("used = %d after discard", d.Used())
+	}
+	if d.FS().Exists("/secret") {
+		t.Fatal("secret survived discard")
+	}
+	if !d.FS().Exists("/etc/os-release") {
+		t.Fatal("base content lost on discard")
+	}
+}
+
+func TestDeltaHookCharged(t *testing.T) {
+	var ram int64
+	d, _ := New("d", 0, baseLayer())
+	d.SetDeltaFunc(func(delta int64) { ram += delta })
+	d.WriteFile("/a", make([]byte, 64))
+	d.WriteVirtual("/b", 1000, 1)
+	if ram != 1064 {
+		t.Fatalf("ram = %d", ram)
+	}
+	d.Discard()
+	if ram != 0 {
+		t.Fatalf("ram = %d after discard", ram)
+	}
+}
+
+func TestUnlimitedCapacity(t *testing.T) {
+	d, _ := New("d", 0, baseLayer())
+	if err := d.WriteVirtual("/huge", 1<<40, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Free() < 1<<61 {
+		t.Fatalf("free = %d", d.Free())
+	}
+}

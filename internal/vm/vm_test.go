@@ -1,0 +1,270 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nymix/internal/guestos"
+	"nymix/internal/mem"
+	"nymix/internal/sim"
+)
+
+func newTestVM(t *testing.T, eng *sim.Engine, host *mem.Host, name string, role guestos.Role) *VM {
+	t.Helper()
+	cfg := Config{
+		Name:      name,
+		Role:      role,
+		RAMBytes:  384 * guestos.MiB,
+		DiskBytes: 128 * guestos.MiB,
+	}
+	conf := guestos.ConfigLayer(role, "tor")
+	base := guestos.BuildBaseImage()
+	v, err := New(eng, host, cfg, conf, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestBootTransitionsAndTiming(t *testing.T) {
+	eng := sim.NewEngine(1)
+	host := mem.NewHost(0)
+	v := newTestVM(t, eng, host, "anon0", guestos.RoleAnonVM)
+	if v.State() != StateCreated {
+		t.Fatalf("state = %v", v.State())
+	}
+	var bootDur time.Duration
+	eng.Go("boot", func(p *sim.Proc) {
+		start := p.Now()
+		if err := v.Boot(p); err != nil {
+			t.Errorf("boot: %v", err)
+		}
+		bootDur = p.Now() - start
+	})
+	eng.Run()
+	if v.State() != StateRunning {
+		t.Fatalf("state = %v after boot", v.State())
+	}
+	prof := guestos.BootProfileFor(guestos.RoleAnonVM)
+	min := time.Duration(float64(prof.Base) * (1 - prof.Jitter - 0.01))
+	max := time.Duration(float64(prof.Base) * (1 + prof.Jitter + 0.01))
+	if bootDur < min || bootDur > max {
+		t.Fatalf("boot took %v, want within [%v, %v]", bootDur, min, max)
+	}
+}
+
+func TestDoubleBootRejected(t *testing.T) {
+	eng := sim.NewEngine(1)
+	host := mem.NewHost(0)
+	v := newTestVM(t, eng, host, "anon0", guestos.RoleAnonVM)
+	eng.Go("boot", func(p *sim.Proc) {
+		v.Boot(p)
+		if err := v.Boot(p); !errors.Is(err, ErrBadState) {
+			t.Errorf("second boot: %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestBootTouchesMostMemoryAtInit(t *testing.T) {
+	// "KVM obtains most of the requested memory for a VM at VM
+	// initialization and not during run time" (section 5.2). RAM-backed
+	// disk is preallocated too, per "the host allocates disk and RAM
+	// from its own stash of RAM".
+	eng := sim.NewEngine(1)
+	host := mem.NewHost(0)
+	v := newTestVM(t, eng, host, "anon0", guestos.RoleAnonVM)
+	eng.Go("boot", func(p *sim.Proc) { v.Boot(p) })
+	eng.Run()
+	resident := v.ResidentBytes()
+	budget := v.Config().RAMBytes + v.Config().DiskBytes
+	if resident < budget*8/10 {
+		t.Fatalf("resident %d < 80%% of %d RAM+disk", resident, budget)
+	}
+	if resident > budget {
+		t.Fatalf("resident %d exceeds RAM+disk %d", resident, budget)
+	}
+}
+
+func TestDirtyActiveGrowsResidentSet(t *testing.T) {
+	eng := sim.NewEngine(1)
+	host := mem.NewHost(0)
+	v := newTestVM(t, eng, host, "anon0", guestos.RoleAnonVM)
+	eng.Go("boot", func(p *sim.Proc) { v.Boot(p) })
+	eng.Run()
+	before := v.ResidentBytes()
+	if err := v.DirtyActive(); err != nil {
+		t.Fatal(err)
+	}
+	after := v.ResidentBytes()
+	if after <= before {
+		t.Fatalf("resident did not grow: %d -> %d", before, after)
+	}
+	if after > v.Config().RAMBytes+v.Config().DiskBytes {
+		t.Fatalf("resident %d exceeds RAM+disk", after)
+	}
+}
+
+func TestTwoVMsShareBaseImagePages(t *testing.T) {
+	eng := sim.NewEngine(1)
+	host := mem.NewHost(0)
+	a := newTestVM(t, eng, host, "anon0", guestos.RoleAnonVM)
+	b := newTestVM(t, eng, host, "anon1", guestos.RoleAnonVM)
+	eng.Go("boot", func(p *sim.Proc) {
+		a.Boot(p)
+		b.Boot(p)
+	})
+	eng.Run()
+	host.ScanAll()
+	st := host.Stats()
+	prof := guestos.MemProfileFor(guestos.RoleAnonVM)
+	// All boot-shared pages plus the zero pool merge across the pair.
+	wantMin := prof.BootSharedPages // each shared page pairs once
+	if st.PagesShared < wantMin {
+		t.Fatalf("pages shared = %d, want >= %d", st.PagesShared, wantMin)
+	}
+	if st.SavedBytes <= 0 {
+		t.Fatal("KSM saved nothing across identical VMs")
+	}
+}
+
+func TestDiskPreallocatedNotGrownByWrites(t *testing.T) {
+	// The disk's host-RAM footprint is claimed at init; file writes
+	// within capacity change nothing.
+	eng := sim.NewEngine(1)
+	host := mem.NewHost(0)
+	v := newTestVM(t, eng, host, "anon0", guestos.RoleAnonVM)
+	eng.Go("boot", func(p *sim.Proc) { v.Boot(p) })
+	eng.Run()
+	before := v.ResidentBytes()
+	if before < v.Config().DiskBytes {
+		t.Fatalf("resident %d below preallocated disk %d", before, v.Config().DiskBytes)
+	}
+	if err := v.Disk().WriteVirtual("/home/cache", 8*guestos.MiB, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.ResidentBytes(); got != before {
+		t.Fatalf("disk write changed resident: %d -> %d", before, got)
+	}
+	// Logical disk usage is still tracked at the vdisk level.
+	if v.Disk().Used() != 8*guestos.MiB {
+		t.Fatalf("disk used = %d", v.Disk().Used())
+	}
+}
+
+func TestPauseResume(t *testing.T) {
+	eng := sim.NewEngine(1)
+	host := mem.NewHost(0)
+	v := newTestVM(t, eng, host, "anon0", guestos.RoleAnonVM)
+	if err := v.Pause(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("pause before boot: %v", err)
+	}
+	eng.Go("t", func(p *sim.Proc) {
+		v.Boot(p)
+		if err := v.Pause(); err != nil {
+			t.Errorf("pause: %v", err)
+		}
+		if err := v.DirtyActive(); !errors.Is(err, ErrBadState) {
+			t.Errorf("dirty while paused: %v", err)
+		}
+		if err := v.Resume(); err != nil {
+			t.Errorf("resume: %v", err)
+		}
+	})
+	eng.Run()
+	if v.State() != StateRunning {
+		t.Fatalf("state = %v", v.State())
+	}
+}
+
+func TestShutdownErasesMemory(t *testing.T) {
+	eng := sim.NewEngine(1)
+	host := mem.NewHost(0)
+	v := newTestVM(t, eng, host, "anon0", guestos.RoleAnonVM)
+	eng.Go("t", func(p *sim.Proc) {
+		v.Boot(p)
+		v.Disk().WriteFile("/secret", []byte("evidence"))
+		if err := v.Shutdown(p); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	eng.Run()
+	if v.State() != StateStopped {
+		t.Fatalf("state = %v", v.State())
+	}
+	if host.UsedBytes() != 0 {
+		t.Fatalf("host still holds %d bytes after shutdown", host.UsedBytes())
+	}
+	if host.Stats().ScrubbedBytes == 0 {
+		t.Fatal("no secure erase recorded")
+	}
+	if v.Disk().FS().Exists("/secret") {
+		t.Fatal("disk evidence survived shutdown")
+	}
+	// The space name is free for a new VM (names recycle after wipe).
+	if _, err := host.NewSpace("anon0"); err != nil {
+		t.Fatalf("space not released: %v", err)
+	}
+}
+
+func TestShutdownTakesTimeProportionalToResident(t *testing.T) {
+	eng := sim.NewEngine(1)
+	host := mem.NewHost(0)
+	v := newTestVM(t, eng, host, "anon0", guestos.RoleAnonVM)
+	var wipe time.Duration
+	eng.Go("t", func(p *sim.Proc) {
+		v.Boot(p)
+		start := p.Now()
+		v.Shutdown(p)
+		wipe = p.Now() - start
+	})
+	eng.Run()
+	if wipe <= 0 || wipe > time.Second {
+		t.Fatalf("wipe took %v", wipe)
+	}
+}
+
+func TestFingerprintHomogeneous(t *testing.T) {
+	eng := sim.NewEngine(1)
+	host := mem.NewHost(0)
+	a := newTestVM(t, eng, host, "a", guestos.RoleAnonVM)
+	b := newTestVM(t, eng, host, "b", guestos.RoleCommVM)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("VM fingerprints differ")
+	}
+	if a.Fingerprint().CPUCount != 1 {
+		t.Fatal("VMs must expose a single CPU")
+	}
+	if a.Fingerprint().Resolution != "1024x768" {
+		t.Fatal("resolution must be pinned to 1024x768")
+	}
+}
+
+func TestHostCapacityLimitsVMs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	host := mem.NewHost(700 * guestos.MiB) // tiny host: room for one VM only
+	v := newTestVM(t, eng, host, "anon0", guestos.RoleAnonVM)
+	w := newTestVM(t, eng, host, "anon1", guestos.RoleAnonVM)
+	var err1, err2 error
+	eng.Go("t", func(p *sim.Proc) {
+		err1 = v.Boot(p)
+		err2 = w.Boot(p)
+	})
+	eng.Run()
+	if err1 != nil {
+		t.Fatalf("first VM failed: %v", err1)
+	}
+	if !errors.Is(err2, mem.ErrOutOfMemory) {
+		t.Fatalf("second VM: %v, want out-of-memory", err2)
+	}
+}
+
+func TestZeroRAMRejected(t *testing.T) {
+	eng := sim.NewEngine(1)
+	host := mem.NewHost(0)
+	_, err := New(eng, host, Config{Name: "x", Role: guestos.RoleAnonVM}, guestos.BuildBaseImage())
+	if err == nil {
+		t.Fatal("zero-RAM VM accepted")
+	}
+}

@@ -1,0 +1,650 @@
+// Package vnet simulates the network fabric underneath Nymix: the
+// host-only "virtual wire" between an AnonVM and its CommVM, the
+// host's NAT'd uplink, the DeterLab-like test deployment the paper
+// evaluates against (80 ms RTT, 10 Mbit/s rate limit), and the public
+// Internet of simulated web sites.
+//
+// Topology is a graph of named nodes joined by point-to-point links
+// with one-way latency and byte-per-second capacity. Bulk data moves
+// as fluid flows: concurrent transfers sharing a link receive max-min
+// fair rates, recomputed whenever a flow starts or finishes. That
+// reproduces the contention behaviour behind Figure 5 without
+// packet-level detail.
+//
+// Isolation — the property validated in section 5.1 — is enforced
+// structurally: routes exist only where links exist and every
+// intermediate node's forwarding policy admits the hop. A blocked
+// probe behaves like a silent drop ("as if the host did not exist").
+package vnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"nymix/internal/sim"
+)
+
+// Common errors.
+var (
+	ErrNoRoute  = errors.New("vnet: no route to host")
+	ErrLinkDown = errors.New("vnet: link down")
+	ErrCanceled = errors.New("vnet: transfer canceled")
+)
+
+// DefaultMaxRate caps flows whose path has no finite-capacity link
+// (1 Gbit/s in bytes per second).
+const DefaultMaxRate = 125e6
+
+// Network is a simulated network bound to a simulation engine.
+type Network struct {
+	eng       *sim.Engine
+	nodes     map[string]*Node
+	nodeOrder []*Node
+	links     []*Link
+	transfers []*Transfer // active, ordered by id for determinism
+	nextID    int64
+}
+
+// New returns an empty network on eng.
+func New(eng *sim.Engine) *Network {
+	return &Network{eng: eng, nodes: make(map[string]*Node)}
+}
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// ForwardPolicy decides whether a node forwards traffic arriving on in
+// toward out, destined for dst (the segment's destination node, so a
+// NAT firewall can drop private-range destinations). Endpoint nodes
+// are not policy-checked for their own traffic; only transit hops are.
+type ForwardPolicy func(in, out *Iface, proto string, dst *Node) bool
+
+// Node is a host, VM, relay, or service attachment point.
+type Node struct {
+	net     *Network
+	name    string
+	ifaces  []*Iface
+	policy  ForwardPolicy
+	masq    bool // NAT masquerade: forwarded traffic appears to come from this node
+	noTrans bool // refuses to forward entirely (end hosts)
+	tags    map[string]bool
+}
+
+// AddNode creates a node. By default a node forwards nothing
+// (end-host); call SetForwarding or SetPolicy to make it a router.
+func (n *Network) AddNode(name string) *Node {
+	if _, ok := n.nodes[name]; ok {
+		panic(fmt.Sprintf("vnet: duplicate node %q", name))
+	}
+	nd := &Node{net: n, name: name, noTrans: true}
+	n.nodes[name] = nd
+	n.nodeOrder = append(n.nodeOrder, nd)
+	return nd
+}
+
+// Node returns the named node, or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// Name returns the node's name.
+func (nd *Node) Name() string { return nd.name }
+
+// Ifaces returns the node's interfaces in link-creation order.
+func (nd *Node) Ifaces() []*Iface { return nd.ifaces }
+
+// AddTag labels the node (e.g. "lan" for intranet hosts whose private
+// address range a NAT firewall filters).
+func (nd *Node) AddTag(tag string) *Node {
+	if nd.tags == nil {
+		nd.tags = make(map[string]bool)
+	}
+	nd.tags[tag] = true
+	return nd
+}
+
+// HasTag reports whether the node carries the tag.
+func (nd *Node) HasTag(tag string) bool { return nd.tags[tag] }
+
+// SetForwarding enables or disables transit through this node.
+func (nd *Node) SetForwarding(on bool) *Node { nd.noTrans = !on; return nd }
+
+// SetPolicy installs a forwarding policy (implies forwarding enabled).
+func (nd *Node) SetPolicy(p ForwardPolicy) *Node {
+	nd.policy = p
+	nd.noTrans = false
+	return nd
+}
+
+// SetMasquerade makes the node a NAT: traffic it forwards is observed
+// downstream with this node as its source, hiding the true origin —
+// KVM user-mode NAT in the paper's prototype.
+func (nd *Node) SetMasquerade(on bool) *Node { nd.masq = on; return nd }
+
+// Iface is one end of a link.
+type Iface struct {
+	node *Node
+	link *Link
+}
+
+// Node returns the interface's node.
+func (i *Iface) Node() *Node { return i.node }
+
+// Link returns the interface's link.
+func (i *Iface) Link() *Link { return i.link }
+
+// Peer returns the interface at the other end of the link.
+func (i *Iface) Peer() *Iface {
+	if i.link.a == i {
+		return i.link.b
+	}
+	return i.link.a
+}
+
+// LinkConfig parameterizes a link.
+type LinkConfig struct {
+	Latency  time.Duration // one-way propagation delay
+	Capacity float64       // bytes per second; 0 = unlimited
+}
+
+// Link is a bidirectional point-to-point link.
+type Link struct {
+	id       int
+	a, b     *Iface
+	cfg      LinkConfig
+	down     bool
+	active   map[*Transfer]struct{}
+	captures []*Capture
+}
+
+// Connect joins two nodes with a link.
+func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
+	l := &Link{id: len(n.links), cfg: cfg, active: make(map[*Transfer]struct{})}
+	l.a = &Iface{node: a, link: l}
+	l.b = &Iface{node: b, link: l}
+	a.ifaces = append(a.ifaces, l.a)
+	b.ifaces = append(b.ifaces, l.b)
+	n.links = append(n.links, l)
+	return l
+}
+
+// Endpoints returns the two nodes the link joins.
+func (l *Link) Endpoints() (*Node, *Node) { return l.a.node, l.b.node }
+
+// Config returns the link's parameters.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// SetDown takes the link down (true) or up (false). Taking a link down
+// fails every transfer currently crossing it.
+func (l *Link) SetDown(n *Network, down bool) {
+	l.down = down
+	if !down {
+		return
+	}
+	var victims []*Transfer
+	for t := range l.active {
+		victims = append(victims, t)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+	for _, t := range victims {
+		t.fail(ErrLinkDown)
+	}
+}
+
+// Capture is a passive tap on a link, the simulation's Wireshark. The
+// paper's validation runs one on the host uplink to confirm an idle
+// Nymix emits only DHCP and anonymizer traffic.
+type Capture struct {
+	link    *Link
+	Entries []CaptureEntry
+}
+
+// CaptureEntry records one flow crossing a tapped link.
+type CaptureEntry struct {
+	Time        sim.Time
+	ObservedSrc string // source as visible at this link (post-NAT)
+	Dst         string
+	Proto       string
+	Bytes       int64
+}
+
+// Tap attaches a capture to the link.
+func (l *Link) Tap() *Capture {
+	c := &Capture{link: l}
+	l.captures = append(l.captures, c)
+	return c
+}
+
+// Protos returns the distinct protocol labels seen, sorted.
+func (c *Capture) Protos() []string {
+	set := map[string]bool{}
+	for _, e := range c.Entries {
+		set[e.Proto] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// hop is one step of a computed route.
+type hop struct {
+	link        *Link
+	observedSrc string // source name visible on this link
+}
+
+// route finds a policy-respecting path from src to dst, optionally
+// through waypoints (each waypoint acts as a proxy terminating and
+// re-originating the flow, like a Tor relay). It returns the hops in
+// order.
+func (n *Network) route(src, dst *Node, via []*Node, proto string) ([]hop, error) {
+	points := append([]*Node{src}, via...)
+	points = append(points, dst)
+	var hops []hop
+	for i := 0; i+1 < len(points); i++ {
+		seg, err := n.segment(points[i], points[i+1], proto)
+		if err != nil {
+			return nil, fmt.Errorf("%w (%s -> %s)", err, points[i].name, points[i+1].name)
+		}
+		// The segment originates at points[i]; NAT nodes along it rewrite
+		// the observed source.
+		observed := points[i].name
+		node := points[i]
+		for _, l := range seg {
+			hops = append(hops, hop{link: l, observedSrc: observed})
+			var next *Iface
+			if l.a.node == node {
+				next = l.b
+			} else {
+				next = l.a
+			}
+			node = next.node
+			if node.masq {
+				observed = node.name
+			}
+		}
+	}
+	return hops, nil
+}
+
+// segment runs a BFS from src to dst honoring link state and transit
+// policies. Deterministic: neighbors expand in link-creation order.
+func (n *Network) segment(src, dst *Node, proto string) ([]*Link, error) {
+	if src == dst {
+		return nil, nil
+	}
+	type visit struct {
+		node *Node
+		in   *Iface // iface we arrived on (nil at src)
+	}
+	prev := map[*Node]*Iface{} // node -> iface we arrived through
+	seen := map[*Node]bool{src: true}
+	queue := []visit{{node: src}}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		// A transit node must permit forwarding; endpoints are exempt.
+		for _, out := range v.node.ifaces {
+			if out.link.down {
+				continue
+			}
+			if v.node != src {
+				if v.node.noTrans {
+					continue
+				}
+				if v.node.policy != nil && !v.node.policy(v.in, out, proto, dst) {
+					continue
+				}
+			}
+			peer := out.Peer()
+			if seen[peer.node] {
+				continue
+			}
+			seen[peer.node] = true
+			prev[peer.node] = peer
+			if peer.node == dst {
+				// Reconstruct.
+				var links []*Link
+				at := dst
+				for at != src {
+					in := prev[at]
+					links = append(links, in.link)
+					at = in.Peer().node
+				}
+				// Reverse.
+				for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+					links[i], links[j] = links[j], links[i]
+				}
+				return links, nil
+			}
+			queue = append(queue, visit{node: peer.node, in: peer})
+		}
+	}
+	return nil, ErrNoRoute
+}
+
+// CanReach reports whether src can currently route proto traffic to
+// dst. This is the probe primitive behind the section 5.1 isolation
+// matrix.
+func (n *Network) CanReach(src, dst string, proto string) bool {
+	s, d := n.nodes[src], n.nodes[dst]
+	if s == nil || d == nil {
+		return false
+	}
+	_, err := n.segment(s, d, proto)
+	return err == nil
+}
+
+// PathLatency returns the one-way latency between two nodes along the
+// current route, or an error if unreachable.
+func (n *Network) PathLatency(src, dst string, via ...string) (time.Duration, error) {
+	s, d := n.nodes[src], n.nodes[dst]
+	if s == nil || d == nil {
+		return 0, ErrNoRoute
+	}
+	vias, err := n.viaNodes(via)
+	if err != nil {
+		return 0, err
+	}
+	hops, err := n.route(s, d, vias, "probe")
+	if err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for _, h := range hops {
+		total += h.link.cfg.Latency
+	}
+	return total, nil
+}
+
+func (n *Network) viaNodes(names []string) ([]*Node, error) {
+	var out []*Node
+	for _, name := range names {
+		nd := n.nodes[name]
+		if nd == nil {
+			return nil, fmt.Errorf("%w: waypoint %q", ErrNoRoute, name)
+		}
+		out = append(out, nd)
+	}
+	return out, nil
+}
+
+// Result describes a finished transfer.
+type Result struct {
+	Bytes   int64
+	Started sim.Time
+	Ended   sim.Time
+}
+
+// Duration returns the transfer's elapsed simulated time.
+func (r Result) Duration() time.Duration { return r.Ended - r.Started }
+
+// TransferOpts parameterizes a flow.
+type TransferOpts struct {
+	From, To string
+	Via      []string // proxy waypoints (e.g. Tor relays), in order
+	Bytes    int64
+	Proto    string  // protocol label, visible to captures and policies
+	Overhead float64 // fractional protocol overhead; wire bytes = Bytes*(1+Overhead)
+	// NoHandshake skips the connection-setup round trip (datagrams).
+	NoHandshake bool
+	MaxRate     float64 // per-flow cap in bytes/s; 0 = DefaultMaxRate
+}
+
+// Transfer is an in-flight fluid flow.
+type Transfer struct {
+	id         int64
+	net        *Network
+	opts       TransferOpts
+	hops       []hop
+	remaining  float64
+	rate       float64
+	lastUpdate sim.Time
+	timer      *sim.Timer
+	fut        *sim.Future[Result]
+	started    sim.Time
+	active     bool
+	finished   bool
+}
+
+// StartTransfer begins a flow and returns a future that completes when
+// the last byte is delivered (or the flow fails).
+func (n *Network) StartTransfer(opts TransferOpts) *sim.Future[Result] {
+	fut := sim.NewFuture[Result](n.eng)
+	src, dst := n.nodes[opts.From], n.nodes[opts.To]
+	if src == nil || dst == nil {
+		n.eng.Schedule(0, func() { fut.Complete(Result{}, fmt.Errorf("%w: unknown endpoint", ErrNoRoute)) })
+		return fut
+	}
+	vias, err := n.viaNodes(opts.Via)
+	if err != nil {
+		n.eng.Schedule(0, func() { fut.Complete(Result{}, err) })
+		return fut
+	}
+	hops, err := n.route(src, dst, vias, opts.Proto)
+	if err != nil {
+		// Silent drop: the failure surfaces only after a probe timeout.
+		n.eng.Schedule(3*time.Second, func() { fut.Complete(Result{}, err) })
+		return fut
+	}
+	if opts.MaxRate <= 0 {
+		opts.MaxRate = DefaultMaxRate
+	}
+	wire := float64(opts.Bytes) * (1 + opts.Overhead)
+	if wire < 1 {
+		wire = 1
+	}
+	t := &Transfer{
+		id:        n.nextID,
+		net:       n,
+		opts:      opts,
+		hops:      hops,
+		remaining: wire,
+		fut:       fut,
+		started:   n.eng.Now(),
+	}
+	n.nextID++
+	var setup time.Duration
+	for _, h := range hops {
+		setup += h.link.cfg.Latency
+	}
+	if !opts.NoHandshake {
+		setup *= 2 // connection setup costs a full round trip first
+	}
+	n.eng.Schedule(setup, func() { n.activate(t) })
+	return fut
+}
+
+func (n *Network) activate(t *Transfer) {
+	if t.finished {
+		return
+	}
+	t.active = true
+	t.lastUpdate = n.eng.Now()
+	for _, h := range t.hops {
+		h.link.active[t] = struct{}{}
+		for _, c := range h.link.captures {
+			c.Entries = append(c.Entries, CaptureEntry{
+				Time:        n.eng.Now(),
+				ObservedSrc: h.observedSrc,
+				Dst:         t.opts.To,
+				Proto:       t.opts.Proto,
+				Bytes:       t.opts.Bytes,
+			})
+		}
+	}
+	n.transfers = append(n.transfers, t)
+	n.recompute()
+}
+
+// recompute reruns max-min fair allocation across all active flows and
+// reschedules their completion events. Called on every flow start and
+// finish.
+func (n *Network) recompute() {
+	now := n.eng.Now()
+	// Settle progress at the old rates.
+	for _, t := range n.transfers {
+		elapsed := (now - t.lastUpdate).Seconds()
+		if elapsed > 0 && t.rate > 0 {
+			t.remaining -= t.rate * elapsed
+			if t.remaining < 0 {
+				t.remaining = 0
+			}
+		}
+		t.lastUpdate = now
+		if t.timer != nil {
+			t.timer.Cancel()
+			t.timer = nil
+		}
+		t.rate = 0
+	}
+	// Progressive filling (max-min fairness).
+	residual := make(map[*Link]float64)
+	unfrozen := make(map[*Transfer]bool, len(n.transfers))
+	for _, t := range n.transfers {
+		unfrozen[t] = true
+		for _, h := range t.hops {
+			if h.link.cfg.Capacity > 0 {
+				residual[h.link] = h.link.cfg.Capacity
+			}
+		}
+	}
+	for len(unfrozen) > 0 {
+		// Count unfrozen flows per finite link.
+		count := make(map[*Link]int)
+		for _, t := range n.transfers {
+			if !unfrozen[t] {
+				continue
+			}
+			seen := map[*Link]bool{}
+			for _, h := range t.hops {
+				if h.link.cfg.Capacity > 0 && !seen[h.link] {
+					count[h.link]++
+					seen[h.link] = true
+				}
+			}
+		}
+		// Smallest allowable uniform increment.
+		delta := -1.0
+		for l, c := range count {
+			if c == 0 {
+				continue
+			}
+			share := residual[l] / float64(c)
+			if delta < 0 || share < delta {
+				delta = share
+			}
+		}
+		for _, t := range n.transfers {
+			if unfrozen[t] {
+				head := t.opts.MaxRate - t.rate
+				if delta < 0 || head < delta {
+					delta = head
+				}
+			}
+		}
+		if delta <= 1e-9 {
+			delta = 0
+		}
+		// Apply the increment and freeze saturated flows.
+		for _, t := range n.transfers {
+			if !unfrozen[t] {
+				continue
+			}
+			t.rate += delta
+			seen := map[*Link]bool{}
+			for _, h := range t.hops {
+				if h.link.cfg.Capacity > 0 && !seen[h.link] {
+					residual[h.link] -= delta
+					seen[h.link] = true
+				}
+			}
+		}
+		frozeAny := false
+		for _, t := range n.transfers {
+			if !unfrozen[t] {
+				continue
+			}
+			if t.rate >= t.opts.MaxRate-1e-9 {
+				delete(unfrozen, t)
+				frozeAny = true
+				continue
+			}
+			for _, h := range t.hops {
+				if h.link.cfg.Capacity > 0 && residual[h.link] <= 1e-9 {
+					delete(unfrozen, t)
+					frozeAny = true
+					break
+				}
+			}
+		}
+		if !frozeAny {
+			// Defensive: guarantees termination even with degenerate
+			// capacities.
+			break
+		}
+	}
+	// Schedule completions.
+	for _, t := range n.transfers {
+		t := t
+		if t.rate <= 0 {
+			continue // starved (e.g. zero-capacity path); fails only on link-down
+		}
+		eta := time.Duration(t.remaining / t.rate * float64(time.Second))
+		if eta < 0 {
+			eta = 0
+		}
+		t.timer = n.eng.Schedule(eta, func() { n.finish(t) })
+	}
+}
+
+func (n *Network) finish(t *Transfer) {
+	if t.finished {
+		return
+	}
+	t.remaining = 0
+	t.detach()
+	// Last byte still needs to propagate to the receiver.
+	var tail time.Duration
+	for _, h := range t.hops {
+		tail += h.link.cfg.Latency
+	}
+	end := n.eng.Now() + tail
+	n.eng.Schedule(tail, func() {
+		t.fut.Complete(Result{Bytes: t.opts.Bytes, Started: t.started, Ended: end}, nil)
+	})
+	n.recompute()
+}
+
+func (t *Transfer) fail(err error) {
+	if t.finished {
+		return
+	}
+	t.detach()
+	t.fut.Complete(Result{Started: t.started, Ended: t.net.eng.Now()}, err)
+	t.net.recompute()
+}
+
+// detach removes the transfer from links and the active list.
+func (t *Transfer) detach() {
+	t.finished = true
+	t.active = false
+	if t.timer != nil {
+		t.timer.Cancel()
+		t.timer = nil
+	}
+	for _, h := range t.hops {
+		delete(h.link.active, t)
+	}
+	for i, other := range t.net.transfers {
+		if other == t {
+			t.net.transfers = append(t.net.transfers[:i], t.net.transfers[i+1:]...)
+			break
+		}
+	}
+}
+
+// ActiveTransfers returns the number of in-flight flows.
+func (n *Network) ActiveTransfers() int { return len(n.transfers) }

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nymix/internal/anonnet/tor"
+	"nymix/internal/browser"
+	"nymix/internal/guestos"
+	"nymix/internal/hypervisor"
+	"nymix/internal/sim"
+	"nymix/internal/vm"
+	"nymix/internal/webworld"
+)
+
+type rig struct {
+	eng   *sim.Engine
+	world *webworld.World
+	host  *hypervisor.Host
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.NewEngine(61)
+	net, world := webworld.BuildDefault(eng)
+	host, err := hypervisor.New(eng, net, hypervisor.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	host.ConnectUplink(world.Gateway(), webworld.UplinkConfig)
+	return &rig{eng: eng, world: world, host: host}
+}
+
+func (r *rig) nymbox(t *testing.T, id string, anonRAM int64) (*vm.VM, *browser.Browser) {
+	t.Helper()
+	anon, err := r.host.LaunchVM(vm.Config{
+		Name: "anon-" + id, Role: guestos.RoleAnonVM,
+		RAMBytes: anonRAM, DiskBytes: 128 * guestos.MiB, Anonymizer: "tor",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := r.host.LaunchVM(vm.Config{
+		Name: "comm-" + id, Role: guestos.RoleCommVM,
+		RAMBytes: 128 * guestos.MiB, DiskBytes: 16 * guestos.MiB, Anonymizer: "tor",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.host.WireNymbox(anon, comm); err != nil {
+		t.Fatal(err)
+	}
+	tc := tor.New(r.host.Net(), comm.Name(), r.world.Relays(), r.world.Resolver())
+	r.eng.Go("setup-"+id, func(p *sim.Proc) {
+		anon.Boot(p)
+		comm.Boot(p)
+		tc.Start(p)
+	})
+	r.eng.Run()
+	return anon, browser.New(r.world, r.host.Net(), anon, comm.Name(), tc, browser.Config{})
+}
+
+func TestPeacekeeperNativeScore(t *testing.T) {
+	r := newRig(t)
+	var score float64
+	r.eng.Go("pk", func(p *sim.Proc) { score = RunPeacekeeperNative(p, r.host) })
+	r.eng.Run()
+	if math.Abs(score-3000) > 1 {
+		t.Fatalf("native score = %v, want 3000", score)
+	}
+}
+
+func TestPeacekeeperVMScoreHasOverhead(t *testing.T) {
+	r := newRig(t)
+	anon, _ := r.nymbox(t, "0", PeacekeeperMinRAM)
+	var score float64
+	fut, err := StartPeacekeeperVM(r.host, anon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut.OnDone(func() { score, _ = fut.Value() })
+	r.eng.Run()
+	if math.Abs(score-2400) > 1 {
+		t.Fatalf("vm score = %v, want 2400 (20%% under native)", score)
+	}
+}
+
+func TestPeacekeeperCrashesOnSmallVM(t *testing.T) {
+	r := newRig(t)
+	anon, _ := r.nymbox(t, "small", 384*guestos.MiB)
+	if _, err := StartPeacekeeperVM(r.host, anon); !errors.Is(err, ErrBrowserCrash) {
+		t.Fatalf("err = %v, want ErrBrowserCrash", err)
+	}
+}
+
+func TestPeacekeeperRequiresRunningVM(t *testing.T) {
+	r := newRig(t)
+	anon, err := r.host.LaunchVM(vm.Config{
+		Name: "cold", Role: guestos.RoleAnonVM, RAMBytes: PeacekeeperMinRAM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StartPeacekeeperVM(r.host, anon); err == nil {
+		t.Fatal("benchmark ran on an unbooted VM")
+	}
+}
+
+func TestDownloadKernelTiming(t *testing.T) {
+	r := newRig(t)
+	_, b := r.nymbox(t, "dl", 384*guestos.MiB)
+	var dur float64
+	r.eng.Go("dl", func(p *sim.Proc) {
+		d, err := DownloadKernel(p, b)
+		if err != nil {
+			t.Errorf("download: %v", err)
+		}
+		dur = d.Seconds()
+	})
+	r.eng.Run()
+	// 77 MiB * ~1.12 over 1.25 MB/s is ~72s; allow for circuit setup.
+	if dur < 65 || dur > 90 {
+		t.Fatalf("kernel download took %.1fs", dur)
+	}
+}
+
+func TestFigure3SitesOrder(t *testing.T) {
+	want := []string{"gmail.com", "twitter.com", "youtube.com", "blog.torproject.org",
+		"bbc.co.uk", "facebook.com", "slashdot.org", "espn.com"}
+	if len(Figure3Sites) != len(want) {
+		t.Fatalf("sites = %v", Figure3Sites)
+	}
+	for i := range want {
+		if Figure3Sites[i] != want[i] {
+			t.Fatalf("site %d = %q, want %q (paper's visit order)", i, Figure3Sites[i], want[i])
+		}
+	}
+}
+
+func TestVisitAndMaybeLogin(t *testing.T) {
+	r := newRig(t)
+	_, b := r.nymbox(t, "v", 384*guestos.MiB)
+	r.eng.Go("v", func(p *sim.Proc) {
+		if err := VisitAndMaybeLogin(p, b, true, "twitter.com", "acct-1"); err != nil {
+			t.Errorf("login visit: %v", err)
+		}
+		if err := VisitAndMaybeLogin(p, b, false, "bbc.co.uk", "acct-1"); err != nil {
+			t.Errorf("plain visit: %v", err)
+		}
+	})
+	r.eng.Run()
+	tw := r.world.Site("twitter.com").Visits()
+	if len(tw) != 1 || tw[0].Account != "acct-1" || tw[0].Action != "login" {
+		t.Fatalf("twitter visits = %+v", tw)
+	}
+	bbc := r.world.Site("bbc.co.uk").Visits()
+	if len(bbc) != 1 || bbc[0].Account != "" {
+		t.Fatalf("bbc visits = %+v", bbc)
+	}
+}
