@@ -159,6 +159,22 @@ func BenchmarkAblationLinkage(b *testing.B) {
 	}
 }
 
+func BenchmarkVaultIncremental(b *testing.B) {
+	var steady, cycle2Up, cycle2Full float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.VaultIncremental(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		steady = 100 * experiments.VaultSteadyStateFrac(rows)
+		cycle2Up = rows[1].UploadedMB
+		cycle2Full = rows[1].MonolithicMB
+	}
+	b.ReportMetric(cycle2Up, "MB-upload@cycle2")
+	b.ReportMetric(cycle2Full, "MB-monolithic@cycle2")
+	b.ReportMetric(steady, "%wire-vs-monolithic")
+}
+
 func BenchmarkAblationBuddies(b *testing.B) {
 	var gatedFinal float64
 	for i := 0; i < b.N; i++ {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	nymbench [-seed N] [-run all|fig3|fig4|fig5|fig6|fig7|table1|validation|ablations|summary]
+//	nymbench [-seed N] [-run all|fig3|fig4|fig5|fig6|fig7|table1|validation|ablations|vault|summary]
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 
 func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, summary")
+	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, vault, summary")
 	flag.Parse()
 
 	runners := map[string]func(uint64) (string, error){
@@ -85,12 +85,19 @@ func main() {
 			out += "\n" + experiments.RenderBuddies(experiments.AblationBuddies(s, 4, 12), 4)
 			return out, nil
 		},
+		"vault": func(s uint64) (string, error) {
+			rows, err := experiments.VaultIncremental(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderVaultIncremental(rows), nil
+		},
 		"summary": func(s uint64) (string, error) {
 			return summary(s)
 		},
 	}
 
-	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "summary"}
+	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "vault", "summary"}
 	var selected []string
 	if *run == "all" {
 		selected = order

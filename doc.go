@@ -9,7 +9,11 @@
 // anonymizer, e.g. Tor), connected by a private virtual wire. A
 // non-networked SaniVM scrubs files that cross from the installed OS
 // into a nym, and nym state is quasi-persistent: compressed, encrypted,
-// and stored anonymously in the cloud.
+// and stored anonymously in the cloud — either as a monolithic archive
+// (internal/nymstate) or through NymVault (internal/vault), a
+// content-addressed, deduplicating chunk store whose delta saves ship
+// only what changed since the last session and can replicate or stripe
+// across multiple providers.
 //
 // Everything the paper's prototype relied on — QEMU/KVM, OverlayFS,
 // KSM, a Tor test deployment on DeterLab, Chromium workloads, cloud

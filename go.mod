@@ -1,0 +1,3 @@
+module nymix
+
+go 1.22

@@ -141,6 +141,9 @@ func Login(p *sim.Proc, anon anonnet.Anonymizer, pr *Provider, user, password st
 // User returns the session's account name.
 func (s *Session) User() string { return s.user }
 
+// Provider returns the provider this session is authenticated to.
+func (s *Session) Provider() *Provider { return s.provider }
+
 // Put uploads a blob through the anonymizer. The transfer costs
 // blob.WireSize bytes upstream.
 func (s *Session) Put(p *sim.Proc, name string, blob Blob) error {
@@ -167,6 +170,96 @@ func (s *Session) Put(p *sim.Proc, name string, blob Blob) error {
 	s.acct.used += blob.WireSize
 	s.provider.Uploads++
 	return nil
+}
+
+// BatchFrameBytes is the per-blob multipart framing overhead inside a
+// batched transfer — what replaces a full request/response round trip
+// per blob when many chunks move in one exchange. Exported so callers
+// (internal/vault's save stats) can account the same wire cost the
+// transfer actually charges.
+const BatchFrameBytes = 256
+
+// PutBatch uploads a set of blobs through the anonymizer in a single
+// aggregated exchange: one round trip whose upstream cost is the
+// summed wire sizes plus per-blob framing, instead of one
+// request/response (and 2 KiB ack) per blob. Chunked checkpoint
+// stores (internal/vault) fan out hundreds of small objects; without
+// batching each would pay the anonymizer's full per-request latency.
+// Quota is checked for the whole batch before any transfer, so a
+// rejected batch stores nothing.
+func (s *Session) PutBatch(p *sim.Proc, blobs map[string]Blob) error {
+	if len(blobs) == 0 {
+		return nil
+	}
+	if s.provider.quota != 0 {
+		var delta int64
+		for name, b := range blobs {
+			delta += b.WireSize
+			if old, ok := s.acct.blobs[name]; ok {
+				delta -= old.WireSize
+			}
+		}
+		if s.acct.used+delta > s.provider.quota {
+			return fmt.Errorf("%w: %d + %d > %d", ErrNoSpace, s.acct.used, delta, s.provider.quota)
+		}
+	}
+	var send int64
+	for _, b := range blobs {
+		send += b.WireSize + BatchFrameBytes
+	}
+	if _, err := s.anon.Fetch(p, anonnet.Request{
+		SiteNode: s.provider.NodeName(), SendBytes: send, RecvBytes: 2048,
+	}); err != nil {
+		return fmt.Errorf("cloud: batch upload: %w", err)
+	}
+	for name, b := range blobs {
+		if old, ok := s.acct.blobs[name]; ok {
+			s.acct.used -= old.WireSize
+		}
+		b.Uploaded = p.Now()
+		b.Data = append([]byte(nil), b.Data...)
+		s.acct.blobs[name] = b
+		s.acct.used += b.WireSize
+		s.provider.Uploads++
+	}
+	return nil
+}
+
+// GetBatch downloads the named blobs in a single aggregated exchange
+// (one request, one response carrying all blobs plus per-blob
+// framing). A missing name fails the whole batch before any transfer.
+func (s *Session) GetBatch(p *sim.Proc, names []string) (map[string]Blob, error) {
+	if len(names) == 0 {
+		return map[string]Blob{}, nil
+	}
+	var recv int64
+	for _, name := range names {
+		b, ok := s.acct.blobs[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		recv += b.WireSize + BatchFrameBytes
+	}
+	if _, err := s.anon.Fetch(p, anonnet.Request{
+		SiteNode: s.provider.NodeName(), SendBytes: 2048, RecvBytes: recv,
+	}); err != nil {
+		return nil, fmt.Errorf("cloud: batch download: %w", err)
+	}
+	out := make(map[string]Blob, len(names))
+	for _, name := range names {
+		b := s.acct.blobs[name]
+		b.Data = append([]byte(nil), b.Data...)
+		out[name] = b
+	}
+	return out, nil
+}
+
+// Has reports whether a blob exists, as a metadata-only check (no
+// simulated transfer; the cost is part of the session's listing
+// exchange, which the simulation does not charge).
+func (s *Session) Has(name string) bool {
+	_, ok := s.acct.blobs[name]
+	return ok
 }
 
 // Get downloads a blob through the anonymizer; the transfer costs

@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -162,6 +163,109 @@ func TestGetMissingAndDelete(t *testing.T) {
 	}
 	if r.provider.StoredBytes("u") != 0 {
 		t.Fatal("storage not reclaimed")
+	}
+}
+
+func TestBatchPutGetRoundTrip(t *testing.T) {
+	r := newRig(0)
+	r.provider.CreateAccount("u", "pw")
+	var got map[string]Blob
+	r.eng.Go("t", func(p *sim.Proc) {
+		r.relay.Start(p)
+		sess, _ := Login(p, r.relay, r.provider, "u", "pw")
+		batch := map[string]Blob{
+			"c1": {Data: []byte("one"), WireSize: 1 << 20},
+			"c2": {Data: []byte("two"), WireSize: 2 << 20},
+			"c3": {WireSize: 3 << 20}, // data-less (virtual chunk)
+		}
+		if err := sess.PutBatch(p, batch); err != nil {
+			t.Errorf("putbatch: %v", err)
+			return
+		}
+		var err error
+		got, err = sess.GetBatch(p, []string{"c1", "c2", "c3"})
+		if err != nil {
+			t.Errorf("getbatch: %v", err)
+		}
+	})
+	r.eng.Run()
+	if len(got) != 3 || string(got["c1"].Data) != "one" || string(got["c2"].Data) != "two" {
+		t.Fatalf("batch = %+v", got)
+	}
+	if r.provider.StoredBytes("u") != 6<<20 {
+		t.Fatalf("stored = %d", r.provider.StoredBytes("u"))
+	}
+	if r.provider.Uploads != 3 {
+		t.Fatalf("uploads = %d, want one per blob", r.provider.Uploads)
+	}
+}
+
+func TestBatchIsOneRoundTripNotN(t *testing.T) {
+	// The point of batching: N blobs must not pay N request/response
+	// exchanges through the anonymizer.
+	r := newRig(0)
+	r.provider.CreateAccount("u", "pw")
+	const n = 32
+	var serial, batched time.Duration
+	r.eng.Go("t", func(p *sim.Proc) {
+		r.relay.Start(p)
+		sess, _ := Login(p, r.relay, r.provider, "u", "pw")
+		start := p.Now()
+		for i := 0; i < n; i++ {
+			sess.Put(p, fmt.Sprintf("s%d", i), Blob{WireSize: 4 << 10})
+		}
+		serial = p.Now() - start
+		batch := make(map[string]Blob, n)
+		for i := 0; i < n; i++ {
+			batch[fmt.Sprintf("b%d", i)] = Blob{WireSize: 4 << 10}
+		}
+		start = p.Now()
+		sess.PutBatch(p, batch)
+		batched = p.Now() - start
+	})
+	r.eng.Run()
+	if batched*4 > serial {
+		t.Fatalf("batched put of %d blobs (%v) not ≥4x faster than serial (%v)", n, batched, serial)
+	}
+}
+
+func TestBatchQuotaIsAllOrNothing(t *testing.T) {
+	r := newRig(4 << 20)
+	r.provider.CreateAccount("u", "pw")
+	var err error
+	r.eng.Go("t", func(p *sim.Proc) {
+		r.relay.Start(p)
+		sess, _ := Login(p, r.relay, r.provider, "u", "pw")
+		err = sess.PutBatch(p, map[string]Blob{
+			"a": {WireSize: 3 << 20},
+			"b": {WireSize: 3 << 20},
+		})
+	})
+	r.eng.Run()
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v", err)
+	}
+	if r.provider.StoredBytes("u") != 0 {
+		t.Fatal("rejected batch must store nothing")
+	}
+}
+
+func TestGetBatchMissingFailsWholeBatch(t *testing.T) {
+	r := newRig(0)
+	r.provider.CreateAccount("u", "pw")
+	var err error
+	r.eng.Go("t", func(p *sim.Proc) {
+		r.relay.Start(p)
+		sess, _ := Login(p, r.relay, r.provider, "u", "pw")
+		sess.Put(p, "present", Blob{WireSize: 1 << 10})
+		_, err = sess.GetBatch(p, []string{"present", "absent"})
+		if !sess.Has("present") || sess.Has("absent") {
+			t.Error("Has disagrees with stored blobs")
+		}
+	})
+	r.eng.Run()
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"nymix/internal/guestos"
 	"nymix/internal/hypervisor"
 	"nymix/internal/sim"
+	"nymix/internal/vault"
 	"nymix/internal/vm"
 	"nymix/internal/vnet"
 	"nymix/internal/webworld"
@@ -119,7 +120,10 @@ type Manager struct {
 	// localStore models a second USB drive / local partition for
 	// quasi-persistent state kept off the cloud.
 	localStore map[string][]byte
-	sani       *vm.VM
+	// vaultIndexes caches, per nym, which chunk addresses each
+	// provider already holds — what makes vault saves delta saves.
+	vaultIndexes map[string]*vault.Index
+	sani         *vm.VM
 }
 
 // NewManager boots a Nymix host attached to the world's gateway and
@@ -131,13 +135,14 @@ func NewManager(eng *sim.Engine, world *webworld.World, hostCfg hypervisor.Confi
 	}
 	host.ConnectUplink(world.Gateway(), webworld.UplinkConfig)
 	m := &Manager{
-		eng:        eng,
-		net:        world.Net(),
-		world:      world,
-		host:       host,
-		nyms:       make(map[string]*Nym),
-		providers:  make(map[string]*cloud.Provider),
-		localStore: make(map[string][]byte),
+		eng:          eng,
+		net:          world.Net(),
+		world:        world,
+		host:         host,
+		nyms:         make(map[string]*Nym),
+		providers:    make(map[string]*cloud.Provider),
+		localStore:   make(map[string][]byte),
+		vaultIndexes: make(map[string]*vault.Index),
 	}
 	providerCfg := vnet.LinkConfig{Latency: 2 * time.Millisecond, Capacity: 1e9 / 8}
 	for _, name := range []string{"dropbin", "gdrive"} {

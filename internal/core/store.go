@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"time"
 
+	"nymix/internal/anonnet"
 	"nymix/internal/cloud"
 	"nymix/internal/nymstate"
 	"nymix/internal/sim"
+	"nymix/internal/vault"
 )
 
 // StoreDest names where quasi-persistent state goes.
@@ -38,14 +40,17 @@ const torConsensusBytes = 2200 << 10
 
 // exportState pauses the nymbox, syncs file systems, and exports the
 // writable layers plus anonymizer state (the section 3.5 save path).
+// Both VMs resume on every exit path — a failed sync must not leave
+// the nymbox wedged in StatePaused.
 func (m *Manager) exportState(p *sim.Proc, n *Nym) (*nymstate.State, error) {
 	if err := n.anonVM.Pause(); err != nil {
 		return nil, err
 	}
+	defer n.anonVM.Resume()
 	if err := n.commVM.Pause(); err != nil {
-		n.anonVM.Resume()
 		return nil, err
 	}
+	defer n.commVM.Resume()
 	// Sync: flush anonymizer state into the CommVM's file system so the
 	// disk image is self-contained.
 	st := n.anon.ExportState()
@@ -59,17 +64,14 @@ func (m *Manager) exportState(p *sim.Proc, n *Nym) (*nymstate.State, error) {
 			return nil, err
 		}
 	}
-	out := &nymstate.State{
+	return &nymstate.State{
 		Name:      n.name,
 		Model:     string(n.model),
 		Cycles:    n.cycles,
 		AnonDisk:  n.anonVM.Disk().Snapshot(),
 		CommDisk:  n.commVM.Disk().Snapshot(),
 		AnonState: st,
-	}
-	n.anonVM.Resume()
-	n.commVM.Resume()
-	return out, nil
+	}, nil
 }
 
 // sealArchive compresses and encrypts, charging simulated CPU time.
@@ -222,6 +224,145 @@ func (m *Manager) EndSession(p *sim.Proc, n *Nym, password string, dest StoreDes
 		}
 	}
 	return m.TerminateNym(p, n)
+}
+
+// VaultDest names a chunked, deduplicating cloud destination for
+// quasi-persistent state: one pseudonymous account per provider, with
+// the chunk set replicated or striped across them. Provider order is
+// part of the destination identity — striping assigns chunks
+// positionally, so stores and loads of the same nym must name
+// providers in the same order.
+type VaultDest struct {
+	Providers       []string
+	Account         string
+	AccountPassword string
+	Placement       vault.Placement
+}
+
+// vaultSessions opens one authenticated session per provider through
+// the given anonymizer, creating the pseudonymous accounts on first
+// use.
+func (m *Manager) vaultSessions(p *sim.Proc, anon anonnet.Anonymizer, dest VaultDest) ([]*cloud.Session, error) {
+	if len(dest.Providers) == 0 {
+		return nil, fmt.Errorf("core: vault destination names no providers")
+	}
+	sessions := make([]*cloud.Session, 0, len(dest.Providers))
+	for _, name := range dest.Providers {
+		pr, err := m.Provider(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := pr.CreateAccount(dest.Account, dest.AccountPassword); err != nil {
+			return nil, err
+		}
+		sess, err := cloud.Login(p, anon, pr, dest.Account, dest.AccountPassword)
+		if err != nil {
+			return nil, err
+		}
+		sessions = append(sessions, sess)
+	}
+	return sessions, nil
+}
+
+// vaultStore returns the nym's vault bound to its cached chunk index,
+// creating the index on first use.
+func (m *Manager) vaultStore(name string, placement vault.Placement) *vault.Store {
+	idx, ok := m.vaultIndexes[name]
+	if !ok {
+		idx = vault.NewIndex()
+		m.vaultIndexes[name] = idx
+	}
+	return vault.NewStore(name, placement, idx)
+}
+
+// StoreNymVault checkpoints a nym through the content-addressed vault:
+// the state is chunked, chunks the providers already hold are skipped
+// via the locally cached index, and only the delta plus the sealed
+// manifest travel through the anonymizer. The returned stats carry the
+// wire bytes actually uploaded and, for comparison, what the
+// monolithic archive of the same state would have cost.
+func (m *Manager) StoreNymVault(p *sim.Proc, n *Nym, password string, dest VaultDest) (vault.SaveStats, error) {
+	if n.terminated {
+		return vault.SaveStats{}, ErrNymTerminated
+	}
+	st, err := m.exportState(p, n)
+	if err != nil {
+		return vault.SaveStats{}, err
+	}
+	st.Cycles = n.cycles + 1
+	// The chunker (like the monolithic compressor) chews through the
+	// full logical state; dedup saves wire and crypto, not compression.
+	p.Sleep(time.Duration(float64(nymstate.LogicalSize(st)) / nymstate.CompressRate * float64(time.Second)))
+	sessions, err := m.vaultSessions(p, n.anon, dest)
+	if err != nil {
+		return vault.SaveStats{}, err
+	}
+	vs := m.vaultStore(n.name, dest.Placement)
+	stats, err := vs.Save(p, st, password, sessions, m.eng.Rand())
+	if err != nil {
+		return stats, err
+	}
+	// Encryption is charged only for bytes that actually shipped.
+	p.Sleep(time.Duration(float64(stats.UploadedBytes) / nymstate.CryptoRate * float64(time.Second)))
+	// Price the monolithic baseline for the same state without sealing
+	// (or uploading) it: the dedup comparison every caller wants.
+	base, err := nymstate.EstimateArchiveWireSize(st)
+	if err != nil {
+		return stats, err
+	}
+	stats.BaselineWireBytes = base
+	n.cycles++
+	return stats, nil
+}
+
+// LoadNymVault restores a nym from the vault, following the paper's
+// cloud-restore workflow: a throwaway ephemeral nym downloads the
+// manifest and chunks anonymously, then the real nym boots from the
+// verified, reassembled images.
+func (m *Manager) LoadNymVault(p *sim.Proc, name, password string, opts Options, dest VaultDest) (*Nym, error) {
+	start := p.Now()
+	loader, err := m.StartNym(p, "loader-"+name, Options{
+		Model:      ModelEphemeral,
+		Anonymizer: loaderAnonymizer(opts),
+		GuardSeed:  opts.GuardSeed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: ephemeral loader: %w", err)
+	}
+	sessions, err := m.vaultSessions(p, loader.Anonymizer(), dest)
+	if err != nil {
+		m.TerminateNym(p, loader)
+		return nil, err
+	}
+	vs := m.vaultStore(name, dest.Placement)
+	st, stats, err := vs.Load(p, password, sessions)
+	if err != nil {
+		m.TerminateNym(p, loader)
+		return nil, err
+	}
+	if err := m.TerminateNym(p, loader); err != nil {
+		return nil, err
+	}
+	ephemeral := p.Now() - start
+	// Decryption and decompression charge over what came off the wire
+	// and what it expands into.
+	p.Sleep(time.Duration(float64(stats.DownloadedBytes) / nymstate.CryptoRate * float64(time.Second)))
+	p.Sleep(time.Duration(float64(nymstate.LogicalSize(st)) / nymstate.CompressRate * float64(time.Second)))
+	return m.startNym(p, name, opts, &restoredState{state: st, ephemeralPhase: ephemeral})
+}
+
+// VaultGC prunes chunks the latest manifest no longer references from
+// every provider, through the nym's own anonymizer. Run it after a
+// save to reclaim space freed by deleted or rewritten files.
+func (m *Manager) VaultGC(p *sim.Proc, n *Nym, password string, dest VaultDest) (vault.GCStats, error) {
+	if n.terminated {
+		return vault.GCStats{}, ErrNymTerminated
+	}
+	sessions, err := m.vaultSessions(p, n.anon, dest)
+	if err != nil {
+		return vault.GCStats{}, err
+	}
+	return m.vaultStore(n.name, dest.Placement).GC(p, password, sessions)
 }
 
 // LocalArchiveSize returns the stored wire size of a local archive.

@@ -106,6 +106,15 @@ func build(paths []string, leaves []Hash) *Tree {
 	return t
 }
 
+// BuildHashes constructs a tree over precomputed leaf digests, in
+// order. It serves consumers whose leaves are not union-fs files —
+// internal/vault uses it to commit to a checkpoint's chunk list, so a
+// restore can verify every fetched chunk against the manifest root the
+// same way section 3.4 checks disk blocks against a well-known tree.
+func BuildHashes(leaves []Hash) *Tree {
+	return build(nil, append([]Hash(nil), leaves...))
+}
+
 // Root returns the well-known root hash.
 func (t *Tree) Root() Hash { return t.levels[len(t.levels)-1][0] }
 

@@ -1,6 +1,7 @@
 package merkle
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"testing"
@@ -176,5 +177,49 @@ func TestPropertyVirtualMetadataCovered(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBuildHashesMatchesAndProves(t *testing.T) {
+	// BuildHashes over arbitrary leaf digests (internal/vault's chunk
+	// addresses) must behave like a layer tree: deterministic root,
+	// order sensitivity, and working membership proofs — including the
+	// odd-leaf promotion case.
+	for _, n := range []int{0, 1, 2, 3, 7, 8} {
+		leaves := make([]Hash, n)
+		for i := range leaves {
+			leaves[i] = sha256.Sum256([]byte{byte(i)})
+		}
+		tree := BuildHashes(leaves)
+		if tree.Root() != BuildHashes(leaves).Root() {
+			t.Fatalf("n=%d: root not deterministic", n)
+		}
+		for i := range leaves {
+			proof, err := tree.Proof(i)
+			if err != nil {
+				t.Fatalf("n=%d proof %d: %v", n, i, err)
+			}
+			if !VerifyProof(tree.Root(), leaves[i], proof) {
+				t.Fatalf("n=%d: leaf %d proof rejected", n, i)
+			}
+			bad := leaves[i]
+			bad[0] ^= 1
+			if VerifyProof(tree.Root(), bad, proof) {
+				t.Fatalf("n=%d: tampered leaf %d accepted", n, i)
+			}
+		}
+	}
+	// Order matters: swapping two leaves changes the root.
+	a := []Hash{sha256.Sum256([]byte{1}), sha256.Sum256([]byte{2})}
+	b := []Hash{a[1], a[0]}
+	if BuildHashes(a).Root() == BuildHashes(b).Root() {
+		t.Fatal("leaf order not committed")
+	}
+	// The caller's slice is copied, not aliased.
+	c := []Hash{sha256.Sum256([]byte{9})}
+	tree := BuildHashes(c)
+	c[0][0] ^= 1
+	if tree.Root() != BuildHashes([]Hash{sha256.Sum256([]byte{9})}).Root() {
+		t.Fatal("BuildHashes aliased the caller's leaves")
 	}
 }

@@ -110,12 +110,22 @@ func GuardSeed(password, location string) string {
 	return hex.EncodeToString(mac.Sum(nil)[:16])
 }
 
+// compressionFloor is the residual fraction even perfectly
+// compressible content retains (container framing, dictionary resets).
+const compressionFloor = 0.03
+
+// VirtualWireSize prices virtual content post-compression:
+// size*(floor + (1-floor)*entropy). It is the single entropy model
+// shared by monolithic archives and internal/vault's chunk store.
+func VirtualWireSize(size int64, entropy float64) int64 {
+	return int64(float64(size) * (compressionFloor + (1-compressionFloor)*entropy))
+}
+
 // compressedSizeModel prices an image's content post-compression: real
-// bytes are measured exactly (by gzipping them), virtual bytes cost
-// size*(floor + (1-floor)*entropy).
+// bytes are measured exactly (by gzipping them), virtual bytes via
+// VirtualWireSize.
 func compressedSizeModel(images ...unionfs.Image) int64 {
-	const floor = 0.03
-	var virtual float64
+	var virtual int64
 	var real bytes.Buffer
 	zw := gzip.NewWriter(&real)
 	for _, img := range images {
@@ -125,11 +135,38 @@ func compressedSizeModel(images ...unionfs.Image) int64 {
 				zw.Write(f.Data)
 				continue
 			}
-			virtual += float64(f.VirtualSize) * (floor + (1-floor)*f.Entropy)
+			virtual += VirtualWireSize(f.VirtualSize, f.Entropy)
 		}
 	}
 	zw.Close()
-	return int64(virtual) + int64(real.Len())
+	return virtual + int64(real.Len())
+}
+
+// gcmNonceLen and gcmTagLen are AES-GCM's standard sizes, used when
+// estimating an archive's wire footprint without sealing it.
+const (
+	gcmNonceLen = 12
+	gcmTagLen   = 16
+)
+
+// EstimateArchiveWireSize prices the monolithic archive of st without
+// sealing it: the same arithmetic as Seal (compression model over the
+// disks, plus the gzipped serialized state as ciphertext with GCM tag,
+// salt, and nonce) minus the key derivation and encryption work.
+// Callers that only need the number — e.g. the vault's dedup
+// comparison on every save — use this instead of paying PBKDF2+AES
+// for a value they never store.
+func EstimateArchiveWireSize(st *State) (int64, error) {
+	var plain bytes.Buffer
+	zw := gzip.NewWriter(&plain)
+	if err := gob.NewEncoder(zw).Encode(st); err != nil {
+		return 0, fmt.Errorf("nymstate: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return 0, fmt.Errorf("nymstate: compress: %w", err)
+	}
+	return compressedSizeModel(st.AnonDisk, st.CommDisk) +
+		int64(plain.Len()) + gcmTagLen + saltLen + gcmNonceLen, nil
 }
 
 // RandSource supplies nonce/salt bytes (the simulation's deterministic

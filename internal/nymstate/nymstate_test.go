@@ -219,3 +219,27 @@ func TestPropertySealOpenIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEstimateArchiveWireSizeMatchesSeal(t *testing.T) {
+	// The estimate exists so callers can price the monolithic baseline
+	// without paying PBKDF2+AES; it must agree with what Seal reports.
+	st := sampleState()
+	arch, err := Seal(st, "pw", sim.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gob walks maps in nondeterministic order, so two encodings of
+	// the same state can gzip to slightly different lengths; the
+	// estimate only has to agree to within that noise.
+	got, err := EstimateArchiveWireSize(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := got - arch.WireSize
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 256 {
+		t.Fatalf("estimate %d vs sealed wire size %d (|diff| %d > 256)", got, arch.WireSize, diff)
+	}
+}

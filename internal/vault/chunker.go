@@ -1,0 +1,95 @@
+package vault
+
+// Content-defined chunking. Real file bytes are split at rolling-hash
+// boundaries (a buzhash over a sliding window), so an insertion or
+// edit early in a file reshapes only the chunks it touches and every
+// later chunk keeps its content address — the property that makes
+// delta saves cheap. Virtual files (bulk content modeled by size and
+// entropy, see internal/unionfs) carry no bytes to hash; they are cut
+// into fixed-size segments whose identity derives from the file's
+// entropy model, so a cache that grows by a few megabytes re-addresses
+// only its tail segment.
+
+// Chunking parameters. Nym state skews small (anonymizer state files,
+// credentials, cookies) with bulk content virtual, so the real-byte
+// chunker targets small chunks.
+const (
+	// MinChunk is the smallest real chunk the cutter emits; the
+	// rolling hash is not consulted before this many bytes.
+	MinChunk = 2 << 10
+	// MaxChunk forces a boundary even when the rolling hash never
+	// fires (pathological or incompressible content).
+	MaxChunk = 32 << 10
+	// boundaryMask yields ~8 KiB average chunks: a boundary falls
+	// wherever the window hash has its low 13 bits set.
+	boundaryMask = (1 << 13) - 1
+	// hashWindow is the sliding-window width of the rolling hash.
+	hashWindow = 48
+	// VirtualChunkBytes is the fixed segment size for virtual content.
+	// Small enough that a growing cache re-addresses at most 256 KiB
+	// of unchanged tail per save, large enough that a full browser
+	// cache stays in the hundreds of segments.
+	VirtualChunkBytes = 256 << 10
+)
+
+// buzTable maps each byte value to a fixed random 64-bit pattern. It
+// is generated deterministically (splitmix64) so chunk boundaries —
+// and therefore content addresses — are stable across builds.
+var buzTable = func() [256]uint64 {
+	var t [256]uint64
+	state := uint64(0x6e796d7661756c74) // "nymvault"
+	for i := range t {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		t[i] = z ^ (z >> 31)
+	}
+	return t
+}()
+
+func rotl(v uint64, n uint) uint64 { return v<<n | v>>(64-n) }
+
+// cutReal splits data into content-defined chunks. Every byte of data
+// appears in exactly one chunk, in order; an empty input yields a
+// single empty chunk (an empty real file is still a real file).
+func cutReal(data []byte) [][]byte {
+	if len(data) <= MinChunk {
+		return [][]byte{data}
+	}
+	var chunks [][]byte
+	start := 0
+	var h uint64
+	for i := range data {
+		h = rotl(h, 1) ^ buzTable[data[i]]
+		if i-start >= hashWindow {
+			// The byte sliding out of the window was rotated once per
+			// step since it entered; cancel it at its current rotation.
+			h ^= rotl(buzTable[data[i-hashWindow]], hashWindow)
+		}
+		size := i - start + 1
+		if (size >= MinChunk && h&boundaryMask == boundaryMask) || size >= MaxChunk {
+			chunks = append(chunks, data[start:i+1])
+			start = i + 1
+			h = 0
+		}
+	}
+	if start < len(data) {
+		chunks = append(chunks, data[start:])
+	}
+	return chunks
+}
+
+// cutVirtual returns the segment sizes of a virtual file: fixed-size
+// pieces with a short tail. A zero-size file has no segments.
+func cutVirtual(size int64) []int64 {
+	var segs []int64
+	for off := int64(0); off < size; off += VirtualChunkBytes {
+		n := size - off
+		if n > VirtualChunkBytes {
+			n = VirtualChunkBytes
+		}
+		segs = append(segs, n)
+	}
+	return segs
+}
