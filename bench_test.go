@@ -183,3 +183,20 @@ func BenchmarkAblationBuddies(b *testing.B) {
 	}
 	b.ReportMetric(gatedFinal, "gated-set@12-rounds")
 }
+
+func BenchmarkFleetRampUp(b *testing.B) {
+	var ramp256, steady256, peakRAM float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.FleetRampUp(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		ramp256 = last.TimeToRunning.Seconds()
+		steady256 = last.SteadySaveMB
+		peakRAM = last.PeakRAMGiB
+	}
+	b.ReportMetric(ramp256, "s-to-running@256")
+	b.ReportMetric(steady256, "MB-steady-save@256")
+	b.ReportMetric(peakRAM, "GiB-peakRAM@256")
+}

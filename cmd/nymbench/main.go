@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	nymbench [-seed N] [-run all|fig3|fig4|fig5|fig6|fig7|table1|validation|ablations|vault|summary]
+//	nymbench [-seed N] [-run all|fig3|fig4|fig5|fig6|fig7|table1|validation|ablations|vault|fleet|summary]
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 
 func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, vault, summary")
+	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, vault, fleet, summary")
 	flag.Parse()
 
 	runners := map[string]func(uint64) (string, error){
@@ -92,12 +92,19 @@ func main() {
 			}
 			return experiments.RenderVaultIncremental(rows), nil
 		},
+		"fleet": func(s uint64) (string, error) {
+			rows, err := experiments.FleetRampUp(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderFleetRampUp(rows), nil
+		},
 		"summary": func(s uint64) (string, error) {
 			return summary(s)
 		},
 	}
 
-	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "vault", "summary"}
+	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "vault", "fleet", "summary"}
 	var selected []string
 	if *run == "all" {
 		selected = order

@@ -11,6 +11,7 @@
 // Usage:
 //
 //	nymixctl [-seed N] [-anonymizer tor|dissent|incognito|sweet|tor-bridge] demo
+//	nymixctl [-seed N] [-nyms N] fleet   # ramp a fleet of concurrent nyms with supervision
 //	nymixctl scrub <file.jpg>   # run the SaniVM scrubbing suite on a real file
 package main
 
@@ -18,8 +19,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"nymix/internal/core"
+	"nymix/internal/experiments"
+	"nymix/internal/fleet"
 	"nymix/internal/hypervisor"
 	"nymix/internal/installedos"
 	"nymix/internal/sanitize"
@@ -30,11 +34,17 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	anonymizer := flag.String("anonymizer", "tor", "anonymizer for the demo nym: tor, dissent, incognito, sweet, tor-bridge")
+	nyms := flag.Int("nyms", 24, "fleet size for the fleet command")
 	flag.Parse()
 
 	switch flag.Arg(0) {
 	case "demo", "":
 		if err := demo(*seed, *anonymizer); err != nil {
+			fmt.Fprintf(os.Stderr, "nymixctl: %v\n", err)
+			os.Exit(1)
+		}
+	case "fleet":
+		if err := fleetDemo(*seed, *nyms); err != nil {
 			fmt.Fprintf(os.Stderr, "nymixctl: %v\n", err)
 			os.Exit(1)
 		}
@@ -201,6 +211,85 @@ func demo(seed uint64, anonymizer string) error {
 			return
 		}
 		say("session over; local media carries no nym state")
+	})
+	eng.Run()
+	return demoErr
+}
+
+// fleetDemo ramps a supervised fleet of concurrent nyms: parallel
+// admission-controlled startup, an injected nymbox failure revived by
+// the restart policy, a staggered NymVault save sweep over the
+// persistent members, and a parallel teardown.
+func fleetDemo(seed uint64, n int) error {
+	if n < 2 {
+		n = 2
+	}
+	eng := sim.NewEngine(seed)
+	_, world := webworld.BuildDefault(eng)
+	mgr, err := core.NewManager(eng, world, experiments.FleetHostConfig())
+	if err != nil {
+		return err
+	}
+	o := fleet.New(mgr, fleet.Config{Restart: fleet.DefaultRestartPolicy()})
+	say := func(format string, args ...interface{}) {
+		fmt.Printf("[t=%8.1fs] "+format+"\n", append([]interface{}{eng.Now().Seconds()}, args...)...)
+	}
+	var demoErr error
+	eng.Go("fleet-demo", func(p *sim.Proc) {
+		say("launching %d nyms (budget %.1f GiB RAM, %d-wide start gate)",
+			n, float64(o.RAMBudgetBytes())/(1<<30), o.StartGateWidth())
+		if _, err := o.LaunchAll(experiments.FleetSpecs(n)); err != nil {
+			demoErr = err
+			return
+		}
+		if err := o.AwaitRunning(p, n); err != nil {
+			demoErr = err
+			return
+		}
+		var slowest time.Duration
+		for _, m := range o.Members() {
+			if wait := m.RunningAt() - m.QueuedAt(); wait > slowest {
+				slowest = wait
+			}
+		}
+		say("fleet up: %d running, %.1f GiB reserved, peak host RAM %.1f GiB, slowest queue-to-running %.1fs",
+			o.Running(), float64(o.ReservedBytes())/(1<<30), float64(o.PeakRAMBytes())/(1<<30),
+			slowest.Seconds())
+
+		victim := o.Members()[1]
+		say("injecting a crash into %s", victim.Name())
+		if err := o.FailNym(p, victim.Name(), nil); err != nil {
+			demoErr = err
+			return
+		}
+		if err := o.AwaitRunning(p, n); err != nil {
+			demoErr = err
+			return
+		}
+		say("%s revived by the restart policy (restart %d of %d); fleet back to %d running",
+			victim.Name(), victim.Restarts(), o.Config().Restart.MaxRestarts, o.Running())
+
+		stats, err := o.SaveSweep(p, "fleet-pw", experiments.FleetVaultDest)
+		if err != nil {
+			demoErr = err
+			return
+		}
+		say("staggered save sweep: %d persistent nyms checkpointed, %.1f MB shipped over %.1fs",
+			stats.Saves, float64(stats.UploadedBytes)/(1<<20), stats.Elapsed.Seconds())
+		stats, err = o.SaveSweep(p, "fleet-pw", experiments.FleetVaultDest)
+		if err != nil {
+			demoErr = err
+			return
+		}
+		say("steady-state sweep: %.2f MB (deltas only; monolithic re-upload would be %.1f MB)",
+			float64(stats.UploadedBytes)/(1<<20), float64(stats.BaselineBytes)/(1<<20))
+
+		if err := o.StopAll(p); err != nil {
+			demoErr = err
+			return
+		}
+		say("fleet stopped: %d nyms wiped, host holds %d VMs, %.1f GiB still reserved",
+			o.CountState(fleet.StateStopped), mgr.Host().VMCount(), float64(o.ReservedBytes())/(1<<30))
 	})
 	eng.Run()
 	return demoErr

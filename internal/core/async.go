@@ -1,0 +1,62 @@
+package core
+
+import (
+	"nymix/internal/sim"
+	"nymix/internal/vault"
+)
+
+// Footprint returns the host RAM a nymbox with these options will
+// reserve, after defaults are applied. Every byte of a nymbox lives in
+// host RAM — "the host allocates disk and RAM from its own stash of
+// RAM" (section 5.2) — so the requested footprint is both VMs' RAM
+// plus both writable disks. Fleet admission control (internal/fleet)
+// reserves against this figure; KSM later recovers the mergeable
+// share, so actual physical use is lower.
+func (o Options) Footprint() int64 {
+	o.fillDefaults()
+	return o.AnonRAM + o.AnonDisk + o.CommRAM + o.CommDisk
+}
+
+// StartNymAsync launches a nymbox on its own simulated process and
+// returns a future for the running nym. StartNym blocks its caller for
+// the whole multi-second startup; the async form lets one supervisor
+// (the fleet orchestrator) drive many launches concurrently. The name
+// is reserved for the duration of the launch, so two in-flight starts
+// can never collide on one name.
+func (m *Manager) StartNymAsync(name string, opts Options) *sim.Future[*Nym] {
+	fut := sim.NewFuture[*Nym](m.eng)
+	m.eng.Go("start/"+name, func(bp *sim.Proc) {
+		fut.Complete(m.StartNym(bp, name, opts))
+	})
+	return fut
+}
+
+// TerminateNymAsync tears a nymbox down on its own simulated process.
+// The secure memory wipe charges time proportional to the resident
+// set, so parallel teardown of a large fleet overlaps the wipes.
+func (m *Manager) TerminateNymAsync(n *Nym) *sim.Future[struct{}] {
+	fut := sim.NewFuture[struct{}](m.eng)
+	m.eng.Go("terminate/"+n.name, func(bp *sim.Proc) {
+		fut.Complete(struct{}{}, m.TerminateNym(bp, n))
+	})
+	return fut
+}
+
+// StoreNymVaultAsync checkpoints a nym through the vault on its own
+// simulated process, returning a future for the save stats. The fleet
+// save sweep uses this to overlap a bounded number of staggered saves.
+func (m *Manager) StoreNymVaultAsync(n *Nym, password string, dest VaultDest) *sim.Future[SaveResult] {
+	fut := sim.NewFuture[SaveResult](m.eng)
+	m.eng.Go("save/"+n.name, func(bp *sim.Proc) {
+		stats, err := m.StoreNymVault(bp, n, password, dest)
+		fut.Complete(SaveResult{Nym: n.Name(), Stats: stats}, err)
+	})
+	return fut
+}
+
+// SaveResult pairs a vault save's stats with the nym it belongs to,
+// for fan-out callers awaiting many saves.
+type SaveResult struct {
+	Nym   string
+	Stats vault.SaveStats
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nymix/internal/buddies"
+	"nymix/internal/guestos"
 	"nymix/internal/hypervisor"
 	"nymix/internal/installedos"
 	"nymix/internal/sanitize"
@@ -671,5 +672,122 @@ func TestUplinkCaptureShowsOnlyAnonymizerTraffic(t *testing.T) {
 		if strings.HasPrefix(e.ObservedSrc, "nym") {
 			t.Fatalf("VM identity leaked on uplink: %q", e.ObservedSrc)
 		}
+	}
+}
+
+// Regression for the startNym restore-failure leak: when restoring
+// archived disks fails after both VMs have booted, the half-built
+// nymbox must be destroyed like every other startup error path —
+// previously both the AnonVM and CommVM were leaked on the host.
+func TestRestoreFailureDestroysNymbox(t *testing.T) {
+	eng, m := newManager(t)
+	run(t, eng, func(p *sim.Proc) {
+		nym, err := m.StartNym(p, "packrat", Options{Model: ModelPersistent})
+		if err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		// Fill the AnonVM disk beyond what the restore target will hold.
+		if err := nym.AnonVM().Disk().WriteVirtual("/home/user/archive.bin", 64*guestos.MiB, 0.9); err != nil {
+			t.Errorf("fill: %v", err)
+			return
+		}
+		if _, err := m.StoreNym(p, nym, "pw", Local); err != nil {
+			t.Errorf("store: %v", err)
+			return
+		}
+		if err := m.TerminateNym(p, nym); err != nil {
+			t.Errorf("terminate: %v", err)
+			return
+		}
+		baseline := m.Host().Mem().UsedBytes()
+		_, err = m.LoadNym(p, "packrat", "pw",
+			Options{Model: ModelPersistent, AnonDisk: 16 * guestos.MiB}, Local)
+		if err == nil {
+			t.Error("restore into an undersized disk succeeded")
+			return
+		}
+		if got := m.Host().VMCount(); got != 0 {
+			t.Errorf("failed restore leaked %d VMs", got)
+		}
+		if used := m.Host().Mem().UsedBytes(); used > baseline {
+			t.Errorf("failed restore holds %d bytes over baseline %d", used, baseline)
+		}
+		if m.RunningNyms() != 0 {
+			t.Error("failed restore left a nym registered")
+		}
+		// The name is free again: a fresh start under it must work.
+		if _, err := m.StartNym(p, "packrat", Options{}); err != nil {
+			t.Errorf("restart after failed restore: %v", err)
+		}
+	})
+}
+
+// Regression for TerminateNym partial failure: if one VM destroy
+// fails, teardown must still attempt the other destroy, surface the
+// error, and retire the nym — previously the nym stayed in the
+// running map with its anonymizer stopped and one VM gone.
+func TestTerminatePartialFailureStillRetiresNym(t *testing.T) {
+	eng, m := newManager(t)
+	run(t, eng, func(p *sim.Proc) {
+		nym, err := m.StartNym(p, "glitch", Options{})
+		if err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		// Simulate a crash that already took the CommVM with it, so the
+		// CommVM destroy inside TerminateNym fails.
+		if err := m.Host().DestroyVM(p, nym.CommVM()); err != nil {
+			t.Errorf("destroy comm: %v", err)
+			return
+		}
+		err = m.TerminateNym(p, nym)
+		if err == nil {
+			t.Error("terminate reported success despite the missing CommVM")
+		}
+		if m.RunningNyms() != 0 {
+			t.Error("half-dead nym still in the running map")
+		}
+		if got := m.Host().VMCount(); got != 0 {
+			t.Errorf("AnonVM leaked: %d VMs on host", got)
+		}
+		// A second terminate is still the documented no-op error.
+		if err := m.TerminateNym(p, nym); !errors.Is(err, ErrNymTerminated) {
+			t.Errorf("double terminate = %v, want ErrNymTerminated", err)
+		}
+		// The name is immediately reusable.
+		if _, err := m.StartNym(p, "glitch", Options{}); err != nil {
+			t.Errorf("restart after partial teardown: %v", err)
+		}
+	})
+}
+
+// Two concurrent startups racing for one name must resolve to exactly
+// one nym: the name is reserved for the whole launch, not just
+// checked at registration.
+func TestConcurrentStartsCannotShareName(t *testing.T) {
+	eng, m := newManager(t)
+	var err1, err2 error
+	run(t, eng, func(p *sim.Proc) {
+		f1 := m.StartNymAsync("dup", Options{})
+		f2 := m.StartNymAsync("dup", Options{})
+		_, err1 = sim.Await(p, f1)
+		_, err2 = sim.Await(p, f2)
+	})
+	if (err1 == nil) == (err2 == nil) {
+		t.Fatalf("want exactly one winner: err1=%v err2=%v", err1, err2)
+	}
+	lost := err1
+	if lost == nil {
+		lost = err2
+	}
+	if !errors.Is(lost, ErrNymExists) {
+		t.Fatalf("loser error = %v, want ErrNymExists", lost)
+	}
+	if m.RunningNyms() != 1 {
+		t.Fatalf("running = %d, want 1", m.RunningNyms())
+	}
+	if got := m.Host().VMCount(); got != 2 {
+		t.Fatalf("host VMs = %d, want one nymbox pair", got)
 	}
 }

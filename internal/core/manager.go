@@ -110,11 +110,15 @@ func (o *Options) fillDefaults() {
 
 // Manager is the Nym Manager.
 type Manager struct {
-	eng       *sim.Engine
-	net       *vnet.Network
-	world     *webworld.World
-	host      *hypervisor.Host
-	nyms      map[string]*Nym
+	eng   *sim.Engine
+	net   *vnet.Network
+	world *webworld.World
+	host  *hypervisor.Host
+	nyms  map[string]*Nym
+	// starting reserves names while a nymbox is mid-launch, so
+	// concurrent StartNym pipelines (internal/fleet) cannot race two
+	// nyms onto one name.
+	starting  map[string]bool
 	nextID    int
 	providers map[string]*cloud.Provider
 	// localStore models a second USB drive / local partition for
@@ -140,6 +144,7 @@ func NewManager(eng *sim.Engine, world *webworld.World, hostCfg hypervisor.Confi
 		world:        world,
 		host:         host,
 		nyms:         make(map[string]*Nym),
+		starting:     make(map[string]bool),
 		providers:    make(map[string]*cloud.Provider),
 		localStore:   make(map[string][]byte),
 		vaultIndexes: make(map[string]*vault.Index),
@@ -237,9 +242,11 @@ func (m *Manager) StartNym(p *sim.Proc, name string, opts Options) (*Nym, error)
 
 // startNym optionally restores archived state (restore != nil).
 func (m *Manager) startNym(p *sim.Proc, name string, opts Options, restore *restoredState) (*Nym, error) {
-	if _, exists := m.nyms[name]; exists {
+	if m.nyms[name] != nil || m.starting[name] {
 		return nil, fmt.Errorf("%w: %q", ErrNymExists, name)
 	}
+	m.starting[name] = true
+	defer delete(m.starting, name)
 	// Section 3.4: verify the host partition against its well-known
 	// Merkle root and "safely shut down rather than risk vulnerability
 	// if a modified block is detected".
@@ -266,25 +273,31 @@ func (m *Manager) startNym(p *sim.Proc, name string, opts Options, restore *rest
 		m.host.DestroyVM(p, anonVM)
 		return nil, err
 	}
+	// From here on every error path must tear down the half-built
+	// nymbox; the deferred guard makes leaking it impossible by
+	// construction.
+	launched := false
+	defer func() {
+		if !launched {
+			m.host.DestroyVM(p, anonVM)
+			m.host.DestroyVM(p, commVM)
+		}
+	}()
 	if err := m.host.WireNymbox(anonVM, commVM); err != nil {
-		m.host.DestroyVM(p, anonVM)
-		m.host.DestroyVM(p, commVM)
 		return nil, err
 	}
 
 	// Boot both VMs in parallel; the phase is the slower of the two.
 	bootStart := p.Now()
 	var anonErr, commErr error
-	anonDone := m.eng.Go(anonName+"/boot", func(bp *sim.Proc) { anonErr = anonVM.Boot(bp) })
-	commDone := m.eng.Go(commName+"/boot", func(bp *sim.Proc) { commErr = commVM.Boot(bp) })
+	anonDone := m.eng.Go(anonName+"/boot", func(bp *sim.Proc) { anonErr = m.bootVM(bp, anonVM) })
+	commDone := m.eng.Go(commName+"/boot", func(bp *sim.Proc) { commErr = m.bootVM(bp, commVM) })
 	sim.Await(p, anonDone)
 	sim.Await(p, commDone)
-	if anonErr != nil || commErr != nil {
-		m.host.DestroyVM(p, anonVM)
-		m.host.DestroyVM(p, commVM)
-		if anonErr != nil {
-			return nil, fmt.Errorf("core: boot AnonVM: %w", anonErr)
-		}
+	if anonErr != nil {
+		return nil, fmt.Errorf("core: boot AnonVM: %w", anonErr)
+	}
+	if commErr != nil {
 		return nil, fmt.Errorf("core: boot CommVM: %w", commErr)
 	}
 	bootDur := p.Now() - bootStart
@@ -302,8 +315,6 @@ func (m *Manager) startNym(p *sim.Proc, name string, opts Options, restore *rest
 
 	anon, err := m.buildAnonymizer(opts, commName)
 	if err != nil {
-		m.host.DestroyVM(p, anonVM)
-		m.host.DestroyVM(p, commVM)
 		return nil, err
 	}
 	if restore != nil && restore.state.AnonState != nil {
@@ -311,8 +322,6 @@ func (m *Manager) startNym(p *sim.Proc, name string, opts Options, restore *rest
 	}
 	anonStart := p.Now()
 	if err := anon.Start(p); err != nil {
-		m.host.DestroyVM(p, anonVM)
-		m.host.DestroyVM(p, commVM)
 		return nil, fmt.Errorf("core: start %s: %w", anon.Name(), err)
 	}
 	anonDur := p.Now() - anonStart
@@ -333,7 +342,33 @@ func (m *Manager) startNym(p *sim.Proc, name string, opts Options, restore *rest
 	}
 	n.browser = browser.New(m.world, m.net, anonVM, commName, anon, browser.Config{CacheCap: opts.CacheCap})
 	m.nyms[name] = n
+	launched = true
 	return n, nil
+}
+
+// bootCPUFrac is the share of a guest's boot duration that is vCPU
+// work rather than I/O waiting. On an uncontended chip the CPU leg
+// finishes well inside the boot sleep (0.35/0.8 of the base), so
+// single-nym startup timings are unchanged; when a fleet ramp packs
+// more booting VMs than the chip has threads, boots become CPU-bound
+// and stretch — which is what the fleet start gate exists to contain.
+const bootCPUFrac = 0.35
+
+// bootVM runs one guest's boot: the boot sleep and the boot's vCPU
+// work proceed in parallel, and the boot completes when both have.
+// The chip task is drained even when the boot fails — otherwise a
+// failed boot (the host OOM wall on an oversubscribed ramp) would
+// leave a phantom task stealing fair-share throughput from surviving
+// nyms for the rest of its run.
+func (m *Manager) bootVM(p *sim.Proc, v *vm.VM) error {
+	base := guestos.BootProfileFor(v.Role()).Base
+	cpu := m.host.SubmitVMTask(v.Name()+"/boot-cpu", bootCPUFrac*base.Seconds())
+	if err := v.Boot(p); err != nil {
+		sim.Await(p, cpu)
+		return err
+	}
+	_, err := sim.Await(p, cpu)
+	return err
 }
 
 // buildAnonymizer constructs the pluggable communication tool.
@@ -419,19 +454,21 @@ func (n *Nym) Post(p *sim.Proc, host, content string) (browser.VisitResult, erro
 // TerminateNym shuts a nym down: the anonymizer stops, both VMs are
 // destroyed with their memory securely erased, and — for an ephemeral
 // nym — every trace is gone ("turning off a pseudonym results in
-// amnesia", section 3.4).
+// amnesia", section 3.4). Teardown always attempts both destroys and
+// always retires the nym: a half-dead nymbox (anonymizer stopped, one
+// VM gone) must never linger in the running set where it would pin
+// host memory and block a restart under the same name.
 func (m *Manager) TerminateNym(p *sim.Proc, n *Nym) error {
 	if n.terminated {
 		return ErrNymTerminated
 	}
 	n.anon.Stop()
-	if err := m.host.DestroyVM(p, n.anonVM); err != nil {
-		return err
-	}
-	if err := m.host.DestroyVM(p, n.commVM); err != nil {
-		return err
-	}
+	anonErr := m.host.DestroyVM(p, n.anonVM)
+	commErr := m.host.DestroyVM(p, n.commVM)
 	n.terminated = true
 	delete(m.nyms, n.name)
+	if err := errors.Join(anonErr, commErr); err != nil {
+		return fmt.Errorf("core: terminate %q: %w", n.name, err)
+	}
 	return nil
 }

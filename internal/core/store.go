@@ -74,26 +74,46 @@ func (m *Manager) exportState(p *sim.Proc, n *Nym) (*nymstate.State, error) {
 	}, nil
 }
 
+// chargeHostCPU models compression/crypto work the Nym Manager runs
+// natively on the host: a full core to itself when the chip has a
+// thread free (identical to the old flat sleep), a fair share when a
+// fleet's parallel saves contend for the chip.
+func (m *Manager) chargeHostCPU(p *sim.Proc, name string, seconds float64) error {
+	if seconds <= 0 {
+		return nil
+	}
+	_, err := sim.Await(p, m.host.SubmitNativeTask(name, seconds))
+	return err
+}
+
 // sealArchive compresses and encrypts, charging simulated CPU time.
 func (m *Manager) sealArchive(p *sim.Proc, st *nymstate.State, password string) (*nymstate.Archive, error) {
 	logical := nymstate.LogicalSize(st)
-	p.Sleep(time.Duration(float64(logical) / nymstate.CompressRate * float64(time.Second)))
+	if err := m.chargeHostCPU(p, "compress/"+st.Name, float64(logical)/nymstate.CompressRate); err != nil {
+		return nil, err
+	}
 	arch, err := nymstate.Seal(st, password, m.eng.Rand())
 	if err != nil {
 		return nil, err
 	}
-	p.Sleep(time.Duration(float64(arch.WireSize) / nymstate.CryptoRate * float64(time.Second)))
+	if err := m.chargeHostCPU(p, "encrypt/"+st.Name, float64(arch.WireSize)/nymstate.CryptoRate); err != nil {
+		return nil, err
+	}
 	return arch, nil
 }
 
 // openArchive decrypts and decompresses, charging simulated CPU time.
 func (m *Manager) openArchive(p *sim.Proc, arch *nymstate.Archive, password, name string) (*nymstate.State, error) {
-	p.Sleep(time.Duration(float64(arch.WireSize) / nymstate.CryptoRate * float64(time.Second)))
+	if err := m.chargeHostCPU(p, "decrypt/"+name, float64(arch.WireSize)/nymstate.CryptoRate); err != nil {
+		return nil, err
+	}
 	st, err := nymstate.Open(arch, password, name)
 	if err != nil {
 		return nil, err
 	}
-	p.Sleep(time.Duration(float64(nymstate.LogicalSize(st)) / nymstate.CompressRate * float64(time.Second)))
+	if err := m.chargeHostCPU(p, "decompress/"+name, float64(nymstate.LogicalSize(st))/nymstate.CompressRate); err != nil {
+		return nil, err
+	}
 	return st, nil
 }
 
@@ -292,7 +312,9 @@ func (m *Manager) StoreNymVault(p *sim.Proc, n *Nym, password string, dest Vault
 	st.Cycles = n.cycles + 1
 	// The chunker (like the monolithic compressor) chews through the
 	// full logical state; dedup saves wire and crypto, not compression.
-	p.Sleep(time.Duration(float64(nymstate.LogicalSize(st)) / nymstate.CompressRate * float64(time.Second)))
+	if err := m.chargeHostCPU(p, "chunk/"+n.name, float64(nymstate.LogicalSize(st))/nymstate.CompressRate); err != nil {
+		return vault.SaveStats{}, err
+	}
 	sessions, err := m.vaultSessions(p, n.anon, dest)
 	if err != nil {
 		return vault.SaveStats{}, err
@@ -303,7 +325,9 @@ func (m *Manager) StoreNymVault(p *sim.Proc, n *Nym, password string, dest Vault
 		return stats, err
 	}
 	// Encryption is charged only for bytes that actually shipped.
-	p.Sleep(time.Duration(float64(stats.UploadedBytes) / nymstate.CryptoRate * float64(time.Second)))
+	if err := m.chargeHostCPU(p, "encrypt/"+n.name, float64(stats.UploadedBytes)/nymstate.CryptoRate); err != nil {
+		return stats, err
+	}
 	// Price the monolithic baseline for the same state without sealing
 	// (or uploading) it: the dedup comparison every caller wants.
 	base, err := nymstate.EstimateArchiveWireSize(st)
@@ -346,8 +370,12 @@ func (m *Manager) LoadNymVault(p *sim.Proc, name, password string, opts Options,
 	ephemeral := p.Now() - start
 	// Decryption and decompression charge over what came off the wire
 	// and what it expands into.
-	p.Sleep(time.Duration(float64(stats.DownloadedBytes) / nymstate.CryptoRate * float64(time.Second)))
-	p.Sleep(time.Duration(float64(nymstate.LogicalSize(st)) / nymstate.CompressRate * float64(time.Second)))
+	if err := m.chargeHostCPU(p, "decrypt/"+name, float64(stats.DownloadedBytes)/nymstate.CryptoRate); err != nil {
+		return nil, err
+	}
+	if err := m.chargeHostCPU(p, "decompress/"+name, float64(nymstate.LogicalSize(st))/nymstate.CompressRate); err != nil {
+		return nil, err
+	}
 	return m.startNym(p, name, opts, &restoredState{state: st, ephemeralPhase: ephemeral})
 }
 

@@ -33,6 +33,9 @@ type Host struct {
 	eng   *sim.Engine
 	cfg   Config
 	tasks []*Task
+	// peak is the high-water mark of concurrently runnable tasks, the
+	// chip-pressure figure fleet-scale experiments report.
+	peak int
 }
 
 // NewHost returns a CPU host on eng.
@@ -51,6 +54,17 @@ func (h *Host) Config() Config { return h.cfg }
 
 // Running returns the number of runnable tasks.
 func (h *Host) Running() int { return len(h.tasks) }
+
+// PeakRunning returns the lifetime high-water mark of concurrently
+// runnable tasks.
+func (h *Host) PeakRunning() int { return h.peak }
+
+// Utilization returns the fraction of the chip's maximum throughput
+// (cores times the SMT factor) the current runnable set can consume.
+// 1.0 means every core and SMT thread is saturated.
+func (h *Host) Utilization() float64 {
+	return h.chipThroughput(len(h.tasks)) / (float64(h.cfg.Cores) * h.cfg.SMTFactor)
+}
 
 // TaskResult describes a finished task.
 type TaskResult struct {
@@ -97,6 +111,9 @@ func (h *Host) Submit(name string, work, eff float64) *sim.Future[TaskResult] {
 	h.eng.Schedule(0, func() {
 		t.lastUpdate = h.eng.Now()
 		h.tasks = append(h.tasks, t)
+		if len(h.tasks) > h.peak {
+			h.peak = len(h.tasks)
+		}
 		h.recompute()
 	})
 	return t.fut

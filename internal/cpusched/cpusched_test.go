@@ -179,3 +179,36 @@ func TestPropertyEqualTasksFinishTogether(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPeakRunningAndUtilization(t *testing.T) {
+	eng := sim.NewEngine(3)
+	h := NewHost(eng, Config{Cores: 4, SMTFactor: 1.3})
+	if h.Utilization() != 0 {
+		t.Fatalf("idle utilization = %v", h.Utilization())
+	}
+	var futs []*sim.Future[TaskResult]
+	for i := 0; i < 8; i++ {
+		futs = append(futs, h.Submit("t", 1.0, 1.0))
+	}
+	eng.Go("watch", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		// 8 single-threaded tasks saturate 4 cores with SMT: full chip.
+		if u := h.Utilization(); u < 0.99 || u > 1.01 {
+			t.Errorf("utilization with 8 tasks = %v, want ~1.0", u)
+		}
+		for _, f := range futs {
+			sim.Await(p, f)
+		}
+	})
+	eng.Run()
+	if h.PeakRunning() != 8 {
+		t.Fatalf("peak = %d, want 8", h.PeakRunning())
+	}
+	if h.Running() != 0 {
+		t.Fatalf("running after drain = %d", h.Running())
+	}
+	// The high-water mark survives the drain.
+	if h.PeakRunning() != 8 {
+		t.Fatalf("peak lost after drain")
+	}
+}

@@ -396,3 +396,44 @@ func TestRenderersProduceOutput(t *testing.T) {
 		}
 	}
 }
+
+func TestFleetRampUpShape(t *testing.T) {
+	rows, err := FleetRampUp(5, 8, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Every nym reached Running with no restart-policy activity.
+		if r.Restarts != 0 {
+			t.Errorf("nyms=%d restarts = %d", r.Nyms, r.Restarts)
+		}
+		// Parallel pipelines beat the serial estimate comfortably.
+		if r.TimeToRunning >= r.SerialEst/2 {
+			t.Errorf("nyms=%d ramp %v vs serial %v: pipelines not overlapping",
+				r.Nyms, r.TimeToRunning, r.SerialEst)
+		}
+		// Admission control held the host: the physical peak stays
+		// under capacity and the reservation budget.
+		if r.PeakRAMGiB > 64 {
+			t.Errorf("nyms=%d peak RAM %.1f GiB exceeds the host", r.Nyms, r.PeakRAMGiB)
+		}
+		// Steady-state sweeps are deltas: a small fraction of what
+		// monolithic re-uploads would ship.
+		if r.SteadySaveMB > r.SaveBaseMB/4 {
+			t.Errorf("nyms=%d steady sweep %.1f MB vs monolithic %.1f: dedup not engaged",
+				r.Nyms, r.SteadySaveMB, r.SaveBaseMB)
+		}
+		if r.ColdSaveMB <= 0 || r.PeakCPUTasks <= 0 {
+			t.Errorf("nyms=%d missing metrics: %+v", r.Nyms, r)
+		}
+	}
+	// Tripling the fleet must not triple the ramp: admission pipelines
+	// amortize startup.
+	if rows[1].TimeToRunning >= 3*rows[0].TimeToRunning {
+		t.Errorf("ramp scaled superlinearly: %v @8 vs %v @24",
+			rows[0].TimeToRunning, rows[1].TimeToRunning)
+	}
+}

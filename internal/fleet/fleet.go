@@ -1,0 +1,731 @@
+// Package fleet orchestrates large populations of concurrent nyms
+// over a single core.Manager. The paper's Nym Manager supervises
+// nymbox "creation, longevity, and destruction" (section 3) one nym
+// at a time; this layer scales that supervision to hundreds of
+// simultaneous nymboxes — the ROADMAP's production-scale multi-user
+// service — without giving up any of the lifecycle guarantees.
+//
+// Four mechanisms do the work:
+//
+//   - Admission control. Every nymbox is RAM: both VMs' memory and
+//     both RAM-backed writable disks come from the host's physical
+//     stash (section 5.2). Launches reserve their requested footprint
+//     against a configurable headroom share of host RAM and queue —
+//     rather than fail mid-boot with a half-built nymbox — when the
+//     host is oversubscribed. A bounded start gate likewise keeps the
+//     number of concurrent boot+bootstrap pipelines proportional to
+//     the chip, so a 256-nym ramp does not collapse into timeslicing.
+//   - Parallel pipelines. Startup and teardown run as independent
+//     simulated processes fanned out over sim futures, so wall-clock
+//     (simulated) time is bounded by the slowest admitted batch, not
+//     the sum of serial starts.
+//   - KSM pacing. Host capacity is enforced at page-write time,
+//     before the KSM scanner has had a chance to merge identical
+//     base-image pages across VMs. The orchestrator runs a merge
+//     daemon while operations are in flight so a large ramp's
+//     transient private pages are folded back into shared frames
+//     instead of tripping the host's out-of-memory wall.
+//   - Supervision. Each nym fails independently: a failed launch or a
+//     crashed nymbox releases its reservation and is restarted under
+//     the fleet's restart policy, with backoff, until its restart
+//     budget is spent. One bad nym never takes down the ramp.
+//
+// Staggered save sweeps round out the lifecycle: persistent nyms are
+// checkpointed through the NymVault on a fixed stagger with a bounded
+// number of in-flight saves, so a fleet's periodic checkpoints do not
+// thundering-herd the anonymizer or the providers.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"nymix/internal/core"
+	"nymix/internal/sim"
+)
+
+// Errors.
+var (
+	ErrNeverAdmissible = errors.New("fleet: requested footprint exceeds admissible host RAM")
+	ErrUnknownMember   = errors.New("fleet: unknown member")
+	ErrNotRunning      = errors.New("fleet: member not running")
+)
+
+// RestartPolicy bounds how persistently the fleet revives a failing
+// nym.
+type RestartPolicy struct {
+	MaxRestarts int           // restart budget per member (0 = never restart)
+	Backoff     time.Duration // delay before each restart attempt
+}
+
+// DefaultRestartPolicy retries twice with a short breather.
+func DefaultRestartPolicy() RestartPolicy {
+	return RestartPolicy{MaxRestarts: 2, Backoff: 2 * time.Second}
+}
+
+// Config parameterizes an Orchestrator. Zero values take defaults.
+type Config struct {
+	// RAMHeadroom is the fraction of host physical RAM admissible for
+	// nymbox reservations (default 0.9); the remainder stays free for
+	// the hypervisor's own growth and KSM scan slack.
+	RAMHeadroom float64
+	// StartsPerCore bounds concurrent startup pipelines at
+	// ceil(StartsPerCore * physical cores) (default 2).
+	StartsPerCore float64
+	// Restart is the per-member failure policy.
+	Restart RestartPolicy
+	// SaveStagger spaces successive save launches in a sweep
+	// (default 250ms).
+	SaveStagger time.Duration
+	// SaveConcurrency caps in-flight saves during a sweep (default 4).
+	SaveConcurrency int
+	// StopConcurrency caps parallel teardowns (default: the start
+	// gate's width).
+	StopConcurrency int
+	// KSMInterval is the merge daemon's period while fleet operations
+	// are in flight (default 100ms). KSMBudget is the page budget per
+	// tick; <0 drains the scan queue (the default).
+	KSMInterval time.Duration
+	KSMBudget   int
+}
+
+func (c *Config) fillDefaults(cores int) {
+	if c.RAMHeadroom <= 0 || c.RAMHeadroom > 1 {
+		c.RAMHeadroom = 0.9
+	}
+	if c.StartsPerCore <= 0 {
+		c.StartsPerCore = 2
+	}
+	if c.SaveStagger <= 0 {
+		c.SaveStagger = 250 * time.Millisecond
+	}
+	if c.SaveConcurrency <= 0 {
+		c.SaveConcurrency = 4
+	}
+	if c.StopConcurrency <= 0 {
+		c.StopConcurrency = c.startGateWidth(cores)
+	}
+	if c.KSMInterval <= 0 {
+		c.KSMInterval = 100 * time.Millisecond
+	}
+	if c.KSMBudget == 0 {
+		c.KSMBudget = -1
+	}
+}
+
+func (c *Config) startGateWidth(cores int) int {
+	w := int(c.StartsPerCore * float64(cores))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// MemberState is a fleet member's lifecycle state.
+type MemberState int
+
+// Member lifecycle states.
+const (
+	StateQueued     MemberState = iota // waiting for admission
+	StateStarting                      // admitted, nymbox booting
+	StateRunning                       // nym live
+	StateRestarting                    // failed, awaiting its next attempt
+	StateStopping                      // teardown in progress
+	StateStopped                       // terminated cleanly
+	StateFailed                        // restart budget exhausted
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateStarting:
+		return "starting"
+	case StateRunning:
+		return "running"
+	case StateRestarting:
+		return "restarting"
+	case StateStopping:
+		return "stopping"
+	case StateStopped:
+		return "stopped"
+	case StateFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// Spec names one nym the fleet should run.
+type Spec struct {
+	Name string
+	Opts core.Options
+}
+
+// Member is one nym under fleet supervision.
+type Member struct {
+	spec      Spec
+	footprint int64
+	state     MemberState
+	nym       *core.Nym
+	restarts  int
+	lastErr   error
+	queuedAt  sim.Time
+	runningAt sim.Time // time of the most recent transition to Running
+	// checkpoint records the member's most recent successful vault
+	// save; a restart restores from it instead of booting blank, so a
+	// crash cannot cost a persistent nym its durable state.
+	checkpoint *memberCheckpoint
+}
+
+// memberCheckpoint is where (and under which password) a member's
+// state was last vault-saved.
+type memberCheckpoint struct {
+	password string
+	dest     core.VaultDest
+}
+
+// Name returns the member's nym name.
+func (m *Member) Name() string { return m.spec.Name }
+
+// State returns the member's lifecycle state.
+func (m *Member) State() MemberState { return m.state }
+
+// Nym returns the live nym, or nil unless the member is Running.
+func (m *Member) Nym() *core.Nym { return m.nym }
+
+// Restarts returns how many restart attempts the member has consumed.
+func (m *Member) Restarts() int { return m.restarts }
+
+// LastErr returns the most recent failure, or nil.
+func (m *Member) LastErr() error { return m.lastErr }
+
+// QueuedAt returns when the member entered the admission queue.
+func (m *Member) QueuedAt() sim.Time { return m.queuedAt }
+
+// RunningAt returns when the member last transitioned to Running.
+func (m *Member) RunningAt() sim.Time { return m.runningAt }
+
+// Footprint returns the host RAM the member reserves while admitted.
+func (m *Member) Footprint() int64 { return m.footprint }
+
+// Orchestrator drives a fleet of nyms over one Manager.
+type Orchestrator struct {
+	mgr *core.Manager
+	eng *sim.Engine
+	cfg Config
+
+	ram       *sem // host RAM reservations, bytes
+	startGate *sem // concurrent startup pipelines
+
+	members map[string]*Member
+	order   []string
+
+	// watchers are completed on every member state change; AwaitRunning
+	// and AwaitSettled park on them.
+	watchers []*sim.Future[struct{}]
+
+	// ops counts explicit in-flight operations (save sweeps,
+	// teardowns). Together with member states it drives the KSM
+	// daemon's lifetime, so the event queue drains when nothing is
+	// writing pages — even if launches are still queued for RAM that
+	// nothing will free.
+	ops          int
+	ksmScheduled bool
+
+	peakRAMBytes int64
+}
+
+// New builds an orchestrator over mgr. The admissible RAM budget is
+// RAMHeadroom of host capacity minus what the hypervisor already
+// holds; an uncapped host admits everything immediately.
+func New(mgr *core.Manager, cfg Config) *Orchestrator {
+	host := mgr.Host()
+	cfg.fillDefaults(host.CPU().Config().Cores)
+	budget := int64(-1) // uncapped host: admit everything
+	if cap := host.Mem().Capacity(); cap > 0 {
+		budget = int64(cfg.RAMHeadroom*float64(cap)) - host.Mem().UsedBytes()
+		if budget < 0 {
+			// Already saturated past the headroom: nothing is admissible.
+			budget = 0
+		}
+	}
+	eng := mgr.Engine()
+	return &Orchestrator{
+		mgr:       mgr,
+		eng:       eng,
+		cfg:       cfg,
+		ram:       newSem(eng, budget),
+		startGate: newSem(eng, int64(cfg.startGateWidth(host.CPU().Config().Cores))),
+		members:   make(map[string]*Member),
+	}
+}
+
+// Manager returns the underlying Nym Manager.
+func (o *Orchestrator) Manager() *core.Manager { return o.mgr }
+
+// Config returns the effective (default-filled) configuration.
+func (o *Orchestrator) Config() Config { return o.cfg }
+
+// RAMBudgetBytes returns the admissible reservation budget.
+func (o *Orchestrator) RAMBudgetBytes() int64 { return o.ram.capacity }
+
+// StartGateWidth returns how many startup pipelines may run at once.
+func (o *Orchestrator) StartGateWidth() int { return int(o.startGate.capacity) }
+
+// ReservedBytes returns currently admitted reservations.
+func (o *Orchestrator) ReservedBytes() int64 { return o.ram.used }
+
+// QueuedLaunches returns launches waiting for RAM admission.
+func (o *Orchestrator) QueuedLaunches() int { return o.ram.queued() }
+
+// PeakRAMBytes returns the highest physical host memory use sampled
+// during fleet operations.
+func (o *Orchestrator) PeakRAMBytes() int64 { return o.peakRAMBytes }
+
+// Member returns a member by name, or nil.
+func (o *Orchestrator) Member(name string) *Member { return o.members[name] }
+
+// Members returns all members in launch order.
+func (o *Orchestrator) Members() []*Member {
+	out := make([]*Member, 0, len(o.order))
+	for _, name := range o.order {
+		out = append(out, o.members[name])
+	}
+	return out
+}
+
+// CountState returns how many members are in state s.
+func (o *Orchestrator) CountState(s MemberState) int {
+	n := 0
+	for _, name := range o.order {
+		if o.members[name].state == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Running returns the number of live members.
+func (o *Orchestrator) Running() int { return o.CountState(StateRunning) }
+
+// Launch enqueues one nym for admission and starts its supervision
+// process. It returns immediately; the launch proceeds on its own
+// simulated process. A footprint that can never fit the admissible
+// budget fails now instead of queueing forever.
+func (o *Orchestrator) Launch(spec Spec) (*Member, error) {
+	if _, dup := o.members[spec.Name]; dup {
+		return nil, fmt.Errorf("fleet: member %q already launched", spec.Name)
+	}
+	m := &Member{
+		spec:      spec,
+		footprint: spec.Opts.Footprint(),
+		state:     StateQueued,
+		queuedAt:  o.eng.Now(),
+	}
+	if m.footprint > o.ram.capacity {
+		m.state = StateFailed
+		m.lastErr = fmt.Errorf("%w: %q needs %d bytes, budget is %d",
+			ErrNeverAdmissible, spec.Name, m.footprint, o.ram.capacity)
+		o.members[spec.Name] = m
+		o.order = append(o.order, spec.Name)
+		return m, m.lastErr
+	}
+	o.members[spec.Name] = m
+	o.order = append(o.order, spec.Name)
+	o.superviseLaunch(m, 0)
+	return m, nil
+}
+
+// LaunchAll enqueues a batch, returning the first hard admission error
+// (other members still launch).
+func (o *Orchestrator) LaunchAll(specs []Spec) ([]*Member, error) {
+	var firstErr error
+	members := make([]*Member, 0, len(specs))
+	for _, spec := range specs {
+		m, err := o.Launch(spec)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if m != nil {
+			members = append(members, m)
+		}
+	}
+	return members, firstErr
+}
+
+// superviseLaunch spawns the member's launch pipeline after delay.
+func (o *Orchestrator) superviseLaunch(m *Member, delay time.Duration) {
+	o.eng.Go("fleet/"+m.spec.Name, func(p *sim.Proc) {
+		if delay > 0 {
+			p.Sleep(delay)
+		}
+		o.runLaunch(p, m)
+	})
+}
+
+// runLaunch drives one member from admission to Running, consuming
+// restart budget on failed attempts. RAM is reserved before the start
+// gate so a queued launch holds its place in admission order. A
+// member with a recorded vault checkpoint is restored from it rather
+// than started blank — a restarted persistent nym keeps its state.
+// (The throwaway loader nym inside LoadNymVault is transient and not
+// separately reserved.)
+func (o *Orchestrator) runLaunch(p *sim.Proc, m *Member) {
+	for {
+		sim.Await(p, o.ram.reserve(m.footprint))
+		sim.Await(p, o.startGate.reserve(1))
+		o.setState(m, StateStarting)
+		var nym *core.Nym
+		var err error
+		if cp := m.checkpoint; cp != nil {
+			nym, err = o.mgr.LoadNymVault(p, m.spec.Name, cp.password, m.spec.Opts, cp.dest)
+		} else {
+			nym, err = o.mgr.StartNym(p, m.spec.Name, m.spec.Opts)
+		}
+		o.startGate.release(1)
+		if err == nil {
+			m.nym = nym
+			m.lastErr = nil
+			m.runningAt = p.Now()
+			o.sampleRAM()
+			o.setState(m, StateRunning)
+			return
+		}
+		o.ram.release(m.footprint)
+		m.lastErr = err
+		if m.restarts >= o.cfg.Restart.MaxRestarts {
+			o.setState(m, StateFailed)
+			return
+		}
+		m.restarts++
+		o.setState(m, StateRestarting)
+		if o.cfg.Restart.Backoff > 0 {
+			p.Sleep(o.cfg.Restart.Backoff)
+		}
+	}
+}
+
+// FailNym injects a nymbox failure: the AnonVM dies out from under the
+// nym (the crash), the manager reclaims whatever remains of the
+// nymbox, the reservation is released, and the restart policy decides
+// whether the member comes back. Tests and chaos experiments use this
+// to verify per-nym failure isolation.
+func (o *Orchestrator) FailNym(p *sim.Proc, name string, cause error) error {
+	m := o.members[name]
+	if m == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownMember, name)
+	}
+	if m.state != StateRunning {
+		return fmt.Errorf("%w: %q is %v", ErrNotRunning, name, m.state)
+	}
+	if cause == nil {
+		cause = errors.New("fleet: injected failure")
+	}
+	m.lastErr = cause
+	// Transition the member before any yield: the teardown below parks
+	// this process for whole wipe durations, and concurrent observers
+	// (a second FailNym, a SaveSweep mid-stagger) must never see a
+	// stale Running member whose nymbox is half-destroyed.
+	nym := m.nym
+	m.nym = nil
+	restart := m.restarts < o.cfg.Restart.MaxRestarts
+	if restart {
+		m.restarts++
+		o.setState(m, StateRestarting)
+	} else {
+		o.setState(m, StateFailed)
+	}
+	// The crash: one VM vanishes. Teardown of the remains must still
+	// retire the nym (the TerminateNym partial-failure contract). The
+	// reservation is released only after the wipe, when the physical
+	// pages are actually free.
+	o.mgr.Host().DestroyVM(p, nym.AnonVM())
+	o.mgr.TerminateNym(p, nym) // best effort; the AnonVM is already gone
+	o.ram.release(m.footprint)
+	if restart {
+		o.superviseLaunch(m, o.cfg.Restart.Backoff)
+	}
+	return nil
+}
+
+// AwaitRunning parks the caller until target members are Running
+// simultaneously. It errors out instead of parking forever when the
+// target is unreachable: everything pending has failed, the RAM
+// budget cannot hold that many of the launched footprints at once, or
+// the admission queue has stalled — nothing is mid-flight and the
+// FIFO head needs more RAM than remains, so only an external stop
+// could ever make progress.
+func (o *Orchestrator) AwaitRunning(p *sim.Proc, target int) error {
+	if max := o.maxSimultaneous(); target > max {
+		return fmt.Errorf("fleet: target %d exceeds the %d nyms the RAM budget can hold at once", target, max)
+	}
+	for {
+		if o.Running() >= target {
+			return nil
+		}
+		if !o.anyPending() {
+			return fmt.Errorf("fleet: %d/%d running and no launches pending (%d failed)",
+				o.Running(), target, o.CountState(StateFailed))
+		}
+		if o.queueStalled() {
+			return fmt.Errorf("fleet: %d/%d running and %d launches stalled in the admission queue (the FIFO head needs more RAM than remains free)",
+				o.Running(), target, o.ram.queued())
+		}
+		o.parkOnChange(p)
+	}
+}
+
+// queueStalled reports that the only pending members are parked in
+// the RAM admission queue and nothing in flight will free or claim
+// capacity: the semaphore admits strictly FIFO, and a queue is only
+// non-empty when its head does not fit the free budget, so without a
+// Starting/Restarting/Stopping member (or a launch proc that has not
+// reached the queue yet) the fleet cannot make progress on its own.
+func (o *Orchestrator) queueStalled() bool {
+	queued := 0
+	for _, name := range o.order {
+		switch o.members[name].state {
+		case StateStarting, StateRestarting, StateStopping:
+			return false
+		case StateQueued:
+			queued++
+		}
+	}
+	// Queued members whose supervisor procs have not yet enqueued a
+	// reservation are still in flight, not stalled.
+	return queued > 0 && queued == o.ram.queued()
+}
+
+// maxSimultaneous bounds how many launched members the RAM budget can
+// hold concurrently: the largest prefix of the (smallest-first)
+// footprints that fits.
+func (o *Orchestrator) maxSimultaneous() int {
+	var fps []int64
+	for _, name := range o.order {
+		m := o.members[name]
+		if m.state == StateFailed || m.state == StateStopped {
+			continue
+		}
+		fps = append(fps, m.footprint)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+	var sum int64
+	n := 0
+	for _, fp := range fps {
+		if sum+fp > o.ram.capacity {
+			break
+		}
+		sum += fp
+		n++
+	}
+	return n
+}
+
+// AwaitSettled parks the caller until no member is queued, starting,
+// restarting, or stopping.
+func (o *Orchestrator) AwaitSettled(p *sim.Proc) {
+	for o.anyPending() || o.CountState(StateStopping) > 0 {
+		o.parkOnChange(p)
+	}
+}
+
+func (o *Orchestrator) anyPending() bool {
+	for _, name := range o.order {
+		switch o.members[name].state {
+		case StateQueued, StateStarting, StateRestarting:
+			return true
+		}
+	}
+	return false
+}
+
+func (o *Orchestrator) parkOnChange(p *sim.Proc) {
+	w := sim.NewFuture[struct{}](o.eng)
+	o.watchers = append(o.watchers, w)
+	sim.Await(p, w)
+}
+
+// setState transitions a member, keeps the KSM daemon armed for any
+// page-writing state, and wakes everyone waiting on fleet progress.
+func (o *Orchestrator) setState(m *Member, s MemberState) {
+	m.state = s
+	o.scheduleKSM()
+	ws := o.watchers
+	o.watchers = nil
+	for _, w := range ws {
+		w.Complete(struct{}{}, nil)
+	}
+}
+
+// SweepStats aggregates one staggered save sweep.
+type SweepStats struct {
+	Saves         int   // successful checkpoints
+	Errors        int   // failed checkpoints
+	UploadedBytes int64 // vault wire bytes actually shipped
+	BaselineBytes int64 // what monolithic re-uploads would have cost
+	NewChunks     int
+	TotalChunks   int
+	Elapsed       time.Duration
+}
+
+// SaveSweep checkpoints every Running persistent member through the
+// NymVault. Save launches are spaced SaveStagger apart with at most
+// SaveConcurrency in flight, so a fleet-wide checkpoint is a smooth
+// trickle on the anonymizer and the providers rather than a
+// thundering herd. destFor maps each member to its vault destination
+// (typically one pseudonymous account per nym).
+func (o *Orchestrator) SaveSweep(p *sim.Proc, password string, destFor func(*Member) core.VaultDest) (SweepStats, error) {
+	o.opStarted()
+	defer o.opDone()
+	start := p.Now()
+	gate := newSem(o.eng, int64(o.cfg.SaveConcurrency))
+	var futs []*sim.Future[core.SaveResult]
+	var saved []*Member
+	var dests []core.VaultDest
+	first := true
+	for _, m := range o.Members() {
+		if m.state != StateRunning || m.nym == nil || m.nym.Model() != core.ModelPersistent {
+			continue
+		}
+		if !first {
+			p.Sleep(o.cfg.SaveStagger)
+		}
+		first = false
+		sim.Await(p, gate.reserve(1))
+		// The stagger sleep and the gate wait both yield; the member may
+		// have crashed (FailNym) or been stopped in the meantime.
+		if m.state != StateRunning || m.nym == nil {
+			gate.release(1)
+			continue
+		}
+		dest := destFor(m)
+		fut := o.mgr.StoreNymVaultAsync(m.nym, password, dest)
+		fut.OnDone(func() { gate.release(1) })
+		futs = append(futs, fut)
+		saved = append(saved, m)
+		dests = append(dests, dest)
+	}
+	var st SweepStats
+	var errs []error
+	for i, f := range futs {
+		res, err := sim.Await(p, f)
+		if err != nil {
+			st.Errors++
+			errs = append(errs, fmt.Errorf("fleet: save %q: %w", res.Nym, err))
+			continue
+		}
+		st.Saves++
+		st.UploadedBytes += res.Stats.UploadedBytes
+		st.BaselineBytes += res.Stats.BaselineWireBytes
+		st.NewChunks += res.Stats.NewChunks
+		st.TotalChunks += res.Stats.TotalChunks
+		// A successful save becomes the member's restart checkpoint.
+		saved[i].checkpoint = &memberCheckpoint{password: password, dest: dests[i]}
+	}
+	st.Elapsed = p.Now() - start
+	o.sampleRAM()
+	return st, errors.Join(errs...)
+}
+
+// StopAll tears down every Running member in parallel, bounded by
+// StopConcurrency, releasing each reservation as its wipe completes.
+// Queued members that have not been admitted yet are left queued; call
+// AwaitSettled first for a clean shutdown of a mid-ramp fleet.
+func (o *Orchestrator) StopAll(p *sim.Proc) error {
+	o.opStarted()
+	defer o.opDone()
+	gate := newSem(o.eng, int64(o.cfg.StopConcurrency))
+	var futs []*sim.Future[struct{}]
+	var stopping []*Member
+	var errs []error
+	for _, m := range o.Members() {
+		if m.state != StateRunning || m.nym == nil {
+			continue
+		}
+		o.setState(m, StateStopping)
+		sim.Await(p, gate.reserve(1))
+		fut := o.mgr.TerminateNymAsync(m.nym)
+		fut.OnDone(func() { gate.release(1) })
+		futs = append(futs, fut)
+		stopping = append(stopping, m)
+	}
+	for i, f := range futs {
+		_, err := sim.Await(p, f)
+		if err != nil {
+			errs = append(errs, err)
+		}
+		m := stopping[i]
+		o.ram.release(m.footprint)
+		m.nym = nil
+		o.setState(m, StateStopped)
+	}
+	return errors.Join(errs...)
+}
+
+// opStarted/opDone bracket explicit fleet operations (sweeps,
+// teardowns), which keep the KSM daemon eligible while they run.
+func (o *Orchestrator) opStarted() {
+	o.ops++
+	o.scheduleKSM()
+}
+
+func (o *Orchestrator) opDone() {
+	o.ops--
+	if o.ops == 0 && !o.needsKSM() {
+		// Final drain so post-op memory readings reflect merged state.
+		o.mgr.Host().Mem().ScanAll()
+		o.sampleRAM()
+	}
+}
+
+// needsKSM reports whether anything is (or is about to be) writing
+// host pages: a member booting, restarting, or being wiped, or an
+// explicit operation in flight. Members that are merely Queued write
+// nothing, so they do not keep the daemon alive — otherwise a launch
+// starved for RAM that nothing will free would tick the daemon
+// forever and Engine.Run would never return.
+func (o *Orchestrator) needsKSM() bool {
+	if o.ops > 0 {
+		return true
+	}
+	for _, name := range o.order {
+		switch o.members[name].state {
+		case StateStarting, StateRestarting, StateStopping:
+			return true
+		}
+	}
+	return false
+}
+
+// scheduleKSM ticks the merge daemon while page-writing work is in
+// flight. Capacity is enforced at page-write time, before merging;
+// without this daemon a hundred-nym ramp would hit the host's
+// out-of-memory wall on pages that are 90% mergeable base image. The
+// daemon re-arms on every state transition and op start, and stops
+// (with a final drain) as soon as nothing needs it, so an idle or
+// starved fleet leaves the event queue empty.
+func (o *Orchestrator) scheduleKSM() {
+	if o.ksmScheduled || !o.needsKSM() {
+		return
+	}
+	o.ksmScheduled = true
+	o.eng.Schedule(o.cfg.KSMInterval, func() {
+		o.ksmScheduled = false
+		o.sampleRAM() // capture the pre-merge spike
+		o.mgr.Host().KSMScan(o.cfg.KSMBudget)
+		if o.needsKSM() {
+			o.scheduleKSM()
+			return
+		}
+		o.mgr.Host().Mem().ScanAll()
+		o.sampleRAM()
+	})
+}
+
+func (o *Orchestrator) sampleRAM() {
+	if used := o.mgr.Host().Mem().UsedBytes(); used > o.peakRAMBytes {
+		o.peakRAMBytes = used
+	}
+}

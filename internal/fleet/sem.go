@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"nymix/internal/sim"
+)
+
+// sem is a weighted semaphore native to the simulation: acquisition
+// returns a future the caller awaits, so oversubscribed requests queue
+// in FIFO order instead of failing. The engine's single-threaded
+// execution model makes the bookkeeping lock-free.
+//
+// Fairness is strict FIFO: a large request at the head of the queue
+// blocks smaller ones behind it, so a 4 GB nym cannot be starved by a
+// stream of 256 MB nyms slipping past it.
+type sem struct {
+	eng      *sim.Engine
+	capacity int64
+	used     int64
+	q        []*semWaiter
+}
+
+type semWaiter struct {
+	need int64
+	fut  *sim.Future[struct{}]
+}
+
+// unlimited is the semaphore capacity used when the underlying
+// resource is uncapped.
+const unlimited = int64(1) << 62
+
+// newSem builds a semaphore with the given capacity. A negative
+// capacity means uncapped; zero is a real (nothing-admissible)
+// capacity — a host already saturated past its headroom must reject
+// launches, not wave them all through.
+func newSem(eng *sim.Engine, capacity int64) *sem {
+	if capacity < 0 {
+		capacity = unlimited
+	}
+	return &sem{eng: eng, capacity: capacity}
+}
+
+// reserve returns a future that completes once need units are held by
+// the caller. The grant is immediate (an already-completed future)
+// when capacity is free and no earlier request is still queued.
+func (s *sem) reserve(need int64) *sim.Future[struct{}] {
+	if len(s.q) == 0 && s.used+need <= s.capacity {
+		s.used += need
+		return sim.CompletedFuture(s.eng, struct{}{}, nil)
+	}
+	w := &semWaiter{need: need, fut: sim.NewFuture[struct{}](s.eng)}
+	s.q = append(s.q, w)
+	return w.fut
+}
+
+// release returns units and admits queued waiters in FIFO order.
+func (s *sem) release(n int64) {
+	s.used -= n
+	if s.used < 0 {
+		panic("fleet: semaphore over-released")
+	}
+	for len(s.q) > 0 && s.used+s.q[0].need <= s.capacity {
+		w := s.q[0]
+		s.q = s.q[1:]
+		s.used += w.need
+		w.fut.Complete(struct{}{}, nil)
+	}
+}
+
+// queued reports how many requests are waiting for capacity.
+func (s *sem) queued() int { return len(s.q) }
