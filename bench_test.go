@@ -184,6 +184,22 @@ func BenchmarkAblationBuddies(b *testing.B) {
 	b.ReportMetric(gatedFinal, "gated-set@12-rounds")
 }
 
+func BenchmarkFleetShards(b *testing.B) {
+	var ramp, migrations, wireMB float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.FleetShards(uint64(i+1), 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ramp = rows[0].TimeToRunning.Seconds() // least-reserved over 4 hosts
+		migrations = float64(rows[1].Migrations)
+		wireMB = rows[1].MigrationWireMB
+	}
+	b.ReportMetric(ramp, "s-to-running@1024x4")
+	b.ReportMetric(migrations, "rebalance-migrations")
+	b.ReportMetric(wireMB, "MB-cross-host-wire")
+}
+
 func BenchmarkFleetRampUp(b *testing.B) {
 	var ramp256, steady256, peakRAM float64
 	for i := 0; i < b.N; i++ {

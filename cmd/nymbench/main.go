@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	nymbench [-seed N] [-run all|fig3|fig4|fig5|fig6|fig7|table1|validation|ablations|vault|fleet|summary]
+//	nymbench [-seed N] [-run all|fig3|fig4|fig5|fig6|fig7|table1|validation|ablations|vault|fleet|shards|summary]
+//	         [-nyms N] [-hosts N]   # shards sizing (default 1024 over 4)
 package main
 
 import (
@@ -17,7 +18,9 @@ import (
 
 func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, vault, fleet, summary")
+	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, vault, fleet, shards, summary")
+	nyms := flag.Int("nyms", 0, "shards: fleet size (0 = 1024)")
+	hosts := flag.Int("hosts", 0, "shards: pool size (0 = 4)")
 	flag.Parse()
 
 	runners := map[string]func(uint64) (string, error){
@@ -99,12 +102,19 @@ func main() {
 			}
 			return experiments.RenderFleetRampUp(rows), nil
 		},
+		"shards": func(s uint64) (string, error) {
+			rows, err := experiments.FleetShards(s, *nyms, *hosts)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderFleetShards(rows), nil
+		},
 		"summary": func(s uint64) (string, error) {
 			return summary(s)
 		},
 	}
 
-	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "vault", "fleet", "summary"}
+	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "vault", "fleet", "shards", "summary"}
 	var selected []string
 	if *run == "all" {
 		selected = order

@@ -11,7 +11,8 @@
 // Usage:
 //
 //	nymixctl [-seed N] [-anonymizer tor|dissent|incognito|sweet|tor-bridge] demo
-//	nymixctl [-seed N] [-nyms N] fleet   # ramp a fleet of concurrent nyms with supervision
+//	nymixctl [-seed N] [-nyms N] fleet     # ramp a fleet of concurrent nyms with supervision
+//	nymixctl [-seed N] [-nyms N] cluster   # shard a fleet across hosts and live-migrate a nym
 //	nymixctl scrub <file.jpg>   # run the SaniVM scrubbing suite on a real file
 package main
 
@@ -21,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"nymix/internal/cluster"
 	"nymix/internal/core"
 	"nymix/internal/experiments"
 	"nymix/internal/fleet"
@@ -45,6 +47,11 @@ func main() {
 		}
 	case "fleet":
 		if err := fleetDemo(*seed, *nyms); err != nil {
+			fmt.Fprintf(os.Stderr, "nymixctl: %v\n", err)
+			os.Exit(1)
+		}
+	case "cluster":
+		if err := clusterDemo(*seed, *nyms); err != nil {
 			fmt.Fprintf(os.Stderr, "nymixctl: %v\n", err)
 			os.Exit(1)
 		}
@@ -211,6 +218,95 @@ func demo(seed uint64, anonymizer string) error {
 			return
 		}
 		say("session over; local media carries no nym state")
+	})
+	eng.Run()
+	return demoErr
+}
+
+// clusterDemo shards a fleet over two simulated hosts, then walks the
+// multi-host story: placement across the pool, a live vault-backed
+// migration that preserves the nym's pseudonym identity end to end,
+// and the reservation accounting on both sides of the move.
+func clusterDemo(seed uint64, n int) error {
+	if n < 4 {
+		n = 4
+	}
+	eng := sim.NewEngine(seed)
+	_, world := webworld.BuildDefault(eng)
+	c, err := cluster.New(eng, world, experiments.ShardClusterConfig(2, cluster.LeastReserved{}))
+	if err != nil {
+		return err
+	}
+	say := func(format string, args ...interface{}) {
+		fmt.Printf("[t=%8.1fs] "+format+"\n", append([]interface{}{eng.Now().Seconds()}, args...)...)
+	}
+	var demoErr error
+	eng.Go("cluster-demo", func(p *sim.Proc) {
+		hosts := c.Hosts()
+		say("cluster up: %d hosts, %.1f GiB admissible each", len(hosts),
+			float64(hosts[0].Fleet().RAMBudgetBytes())/(1<<30))
+		if err := c.LaunchAll(experiments.FleetSpecs(n)); err != nil {
+			demoErr = err
+			return
+		}
+		if err := c.AwaitRunning(p, n); err != nil {
+			demoErr = err
+			return
+		}
+		st := c.Snapshot()
+		say("%d nyms running, placed %v by %s", st.Running, st.PerHostRunning, "least-reserved")
+
+		// Pick a persistent nym and give it identity worth preserving.
+		var name string
+		for _, h := range hosts {
+			for _, m := range h.Fleet().Members() {
+				if m.Nym() != nil && m.Nym().Model() == core.ModelPersistent {
+					name = m.Name()
+					break
+				}
+			}
+			if name != "" {
+				break
+			}
+		}
+		src := c.HostOf(name)
+		dst := hosts[0]
+		if dst == src {
+			dst = hosts[1]
+		}
+		if _, err := c.Member(name).Nym().Browser().Login(p, "twitter.com", "roamer", "pw"); err != nil {
+			demoErr = err
+			return
+		}
+		say("%s (on %s) logged in to twitter.com as roamer", name, src.Name())
+
+		rep, err := c.MigrateNym(p, name, dst.Name())
+		if err != nil {
+			demoErr = err
+			return
+		}
+		say("migrated %s: %s -> %s via the vault (%.1f MB cross-host wire)",
+			name, rep.From, rep.To, float64(rep.WireBytes)/(1<<20))
+		say("source %s now holds %d VMs and %.1f GiB reserved; %s runs %d nyms",
+			src.Name(), src.Manager().Host().VMCount(),
+			float64(src.Fleet().ReservedBytes())/(1<<30), dst.Name(), dst.Fleet().Running())
+		m := c.Member(name)
+		if _, err := m.Nym().Visit(p, "twitter.com"); err != nil {
+			demoErr = err
+			return
+		}
+		visits := world.Site("twitter.com").Visits()
+		say("twitter sees cookie %q from the new host — same pseudonym, different machine",
+			visits[len(visits)-1].CookieID)
+		if cred, ok := m.Nym().Browser().Credentials("twitter.com"); ok {
+			say("stored credentials (%s) crossed hosts inside the sealed checkpoint", cred.Account)
+		}
+		if err := c.StopAll(p); err != nil {
+			demoErr = err
+			return
+		}
+		say("cluster drained; %d migration(s) total, %.1f MB cross-host wire",
+			c.Migrations(), float64(c.MigrationWireBytes())/(1<<20))
 	})
 	eng.Run()
 	return demoErr

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"nymix/internal/anonnet"
+	"nymix/internal/cpusched"
 	"nymix/internal/sim"
 	"nymix/internal/vm"
 	"nymix/internal/vnet"
@@ -56,10 +57,30 @@ type Credential struct {
 	Password string
 }
 
+// RenderFunc submits page render/JS CPU work to the host chip on
+// behalf of the browser's AnonVM (core wires it to SubmitVMTask, so
+// the work runs at virtualized efficiency and contends fairly with
+// every other vCPU on the host). work is native core-seconds.
+type RenderFunc func(name string, work float64) *sim.Future[cpusched.TaskResult]
+
+// RenderRate is the native parse/layout/JS throughput of a page load:
+// bytes of page content rendered per core-second. On an uncontended
+// chip the render leg of a typical page finishes well inside its
+// network transfer (a 4 MB page costs ~0.2 core-seconds against
+// multiple seconds on the rate-limited uplink), so single-nym page
+// timings match the flat model; when a fleet's browsers outnumber the
+// chip's threads, rendering becomes the bottleneck and page loads
+// stretch — honest CPU contention instead of free parallelism.
+const RenderRate = 20 << 20
+
 // Config parameterizes a browser.
 type Config struct {
 	CacheCap    int64  // bytes; 0 means DefaultCacheCap
 	Fingerprint string // "" means the homogeneous Nymix BaseFingerprint
+	// RenderCPU routes page render/JS time through the host CPU
+	// scheduler. Nil keeps page loads network-only (a bare browser in
+	// tests); core always wires it.
+	RenderCPU RenderFunc
 }
 
 // Browser is one browser instance bound to an AnonVM and its
@@ -72,6 +93,7 @@ type Browser struct {
 	anon     anonnet.Anonymizer
 	cacheCap int64
 	baseFP   string
+	render   RenderFunc
 
 	cookies     map[string]string // site host -> first-party cookie
 	evercookies map[string]string // tracker -> evercookie (survives clearing)
@@ -111,6 +133,7 @@ func New(world *webworld.World, net *vnet.Network, anonVM *vm.VM, commNode strin
 		anon:        anon,
 		cacheCap:    cfg.CacheCap,
 		baseFP:      cfg.Fingerprint,
+		render:      cfg.RenderCPU,
 		cookies:     make(map[string]string),
 		evercookies: make(map[string]string),
 		trackerCk:   make(map[string]string),
@@ -168,6 +191,15 @@ func (b *Browser) newID(prefix string) string {
 	return fmt.Sprintf("%s-%s-%d-%d", prefix, b.anonVM.Name(), b.nextID, b.net.Engine().Rand().Intn(1<<30))
 }
 
+// drainRender awaits an in-flight render task on a failed page load,
+// so an aborted fetch does not leave a phantom task stealing chip
+// throughput from live nyms (the bootVM lesson).
+func (b *Browser) drainRender(p *sim.Proc, render *sim.Future[cpusched.TaskResult]) {
+	if render != nil {
+		sim.Await(p, render)
+	}
+}
+
 // wire moves bytes across the AnonVM-CommVM virtual wire.
 func (b *Browser) wire(p *sim.Proc, toComm bool, bytes int64) error {
 	from, to := b.anonVM.Node().Name(), b.commNode
@@ -209,16 +241,32 @@ func (b *Browser) request(p *sim.Proc, host, action, payload string, extraUp int
 		extraUp = 0
 	}
 	upBytes := int64(2048) + extraUp
+	// Page render/JS runs on the AnonVM's vCPU concurrently with the
+	// transfer (browsers parse and lay out progressively as bytes
+	// arrive); the load completes when both network and render have.
+	// Downloads bypass the renderer the same way they bypass the cache.
+	var render *sim.Future[cpusched.TaskResult]
+	if b.render != nil && action != "download" {
+		render = b.render(b.anonVM.Name()+"/render", float64(pageBytes)/RenderRate)
+	}
 	// SOCKS request across the wire, the anonymized exchange, and the
 	// response back over the wire.
 	if err := b.wire(p, true, upBytes); err != nil {
+		b.drainRender(p, render)
 		return VisitResult{}, err
 	}
 	if _, err := b.anon.Fetch(p, anonnet.Request{SiteNode: node, SendBytes: upBytes, RecvBytes: pageBytes}); err != nil {
+		b.drainRender(p, render)
 		return VisitResult{}, err
 	}
 	if err := b.wire(p, false, pageBytes); err != nil {
+		b.drainRender(p, render)
 		return VisitResult{}, err
+	}
+	if render != nil {
+		if _, err := sim.Await(p, render); err != nil {
+			return VisitResult{}, err
+		}
 	}
 
 	// Cookies: present the stored one or accept a fresh one; an

@@ -1,0 +1,518 @@
+// Package cluster shards nym fleets across a pool of simulated Nymix
+// hosts behind a placement layer — the step from one machine running
+// hundreds of nyms (internal/fleet) toward a production service
+// running millions. The paper's NymBox model binds every nym to the
+// one host the user sits at; a multi-tenant service instead treats a
+// nym's durable identity (its NymVault checkpoint) as the primary
+// object and the host it executes on as a scheduling decision.
+//
+// Three mechanisms do the work:
+//
+//   - Placement. Every host wraps its own hypervisor, Nym Manager,
+//     and fleet orchestrator; all hosts share one simulated Internet
+//     and one cloud-provider set. A pluggable policy places each
+//     launch by consulting per-host admission headroom
+//     (ReservedBytes/RAMBudgetBytes); when every host is saturated
+//     the launch queues cluster-wide in FIFO order and is dispatched
+//     as soon as any host frees capacity.
+//   - Live migration. MigrateNym checkpoints a nym through the
+//     NymVault on its source host, tears the source nymbox down, and
+//     restores the checkpoint on the destination — the same
+//     save-on-A/load-on-B channel a user roaming between machines
+//     would use, so pseudonym identity (disks, cookies, guard,
+//     credentials) survives the move byte-identically. A crash
+//     between the source save and the destination restore is retried
+//     from the last durable checkpoint.
+//   - Rebalancing. A state-driven daemon watches per-host reserved
+//     shares and migrates the coldest persistent nyms off hot hosts
+//     (share above a watermark) toward underloaded ones, so a
+//     pack-first ramp or a skewed teardown converges back to an even
+//     spread without operator action.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nymix/internal/core"
+	"nymix/internal/fleet"
+	"nymix/internal/hypervisor"
+	"nymix/internal/sim"
+	"nymix/internal/vnet"
+	"nymix/internal/webworld"
+)
+
+// Errors.
+var (
+	ErrUnknownHost    = errors.New("cluster: unknown host")
+	ErrUnknownNym     = errors.New("cluster: unknown nym")
+	ErrNeverPlaceable = errors.New("cluster: footprint exceeds every host's admissible RAM")
+)
+
+// ClusterUplink is the default per-host uplink: a datacenter-grade
+// 1 Gbit/s line rather than the paper's rate-limited 10 Mbit/s DSL.
+var ClusterUplink = vnet.LinkConfig{Latency: time.Millisecond, Capacity: 1e9 / 8}
+
+// Config parameterizes a cluster. Zero values take defaults.
+type Config struct {
+	// Hosts is the pool size (default 4).
+	Hosts int
+	// HostConfig sizes each host (default: 64 GiB, 16 cores — the
+	// fleet experiment's production profile). Name is overridden per
+	// host with HostPrefix.
+	HostConfig hypervisor.Config
+	// HostPrefix names hosts HostPrefix0..N-1 (default "shard").
+	HostPrefix string
+	// Uplink is each host's uplink (default ClusterUplink).
+	Uplink *vnet.LinkConfig
+	// Fleet configures every host's orchestrator.
+	Fleet fleet.Config
+	// Policy is the placement policy (default LeastReserved).
+	Policy Policy
+	// Rebalance configures the hot-host rebalancer (disabled unless
+	// Enabled is set).
+	Rebalance RebalanceConfig
+	// VaultPassword seals migration checkpoints (default "cluster-pw").
+	VaultPassword string
+	// DestFor maps a nym name to its vault destination (default: one
+	// pseudonymous dropbin account per nym).
+	DestFor func(name string) core.VaultDest
+	// ProviderQuota is the per-account cloud quota (default 2 GiB).
+	ProviderQuota int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Hosts <= 0 {
+		c.Hosts = 4
+	}
+	if c.HostConfig.RAMBytes == 0 && c.HostConfig.CPU.Cores == 0 {
+		c.HostConfig = hypervisor.Config{RAMBytes: 64 << 30, CPU: defaultChip()}
+	}
+	if c.HostPrefix == "" {
+		c.HostPrefix = "shard"
+	}
+	if c.Uplink == nil {
+		c.Uplink = &ClusterUplink
+	}
+	if c.Policy == nil {
+		c.Policy = LeastReserved{}
+	}
+	if c.VaultPassword == "" {
+		c.VaultPassword = "cluster-pw"
+	}
+	if c.DestFor == nil {
+		c.DestFor = func(name string) core.VaultDest {
+			return core.VaultDest{
+				Providers:       []string{"dropbin"},
+				Account:         "acct-" + name,
+				AccountPassword: "cloud-pw",
+			}
+		}
+	}
+	if c.ProviderQuota == 0 {
+		c.ProviderQuota = 2 << 30
+	}
+	c.Rebalance.fillDefaults()
+}
+
+// Host is one machine in the pool: a hypervisor wrapped in its own
+// Nym Manager and fleet orchestrator.
+type Host struct {
+	name string
+	mgr  *core.Manager
+	orch *fleet.Orchestrator
+}
+
+// Name returns the host's network identity.
+func (h *Host) Name() string { return h.name }
+
+// Manager returns the host's Nym Manager.
+func (h *Host) Manager() *core.Manager { return h.mgr }
+
+// Fleet returns the host's orchestrator.
+func (h *Host) Fleet() *fleet.Orchestrator { return h.orch }
+
+// ReservedShare returns the host's reserved fraction of its
+// admissible budget — the figure placement and rebalancing bid with.
+func (h *Host) ReservedShare() float64 {
+	if h.orch.RAMBudgetBytes() <= 0 {
+		return 0
+	}
+	return float64(h.orch.ReservedBytes()) / float64(h.orch.RAMBudgetBytes())
+}
+
+// pendingLaunch is one cluster-wide queued launch. cp is set when the
+// launch restores a vault checkpoint — a migration whose destination
+// restore failed re-queues here, so the nym relaunches from durable
+// state as soon as any host has room.
+type pendingLaunch struct {
+	spec fleet.Spec
+	cp   *fleet.Checkpoint
+}
+
+// Cluster owns the host pool and schedules nyms across it.
+type Cluster struct {
+	eng   *sim.Engine
+	world *webworld.World
+	cfg   Config
+	hosts []*Host
+
+	// placement maps each launched nym to the host currently
+	// responsible for it; specs remembers launch options so a
+	// migration can rebuild the member elsewhere.
+	placement map[string]*Host
+	specs     map[string]fleet.Spec
+
+	pending    []pendingLaunch
+	peakQueued int
+
+	// migrating guards each nym against concurrent migrations (a
+	// user-initiated move racing a rebalance pass).
+	migrating map[string]bool
+	// launchErrs records launches the dispatcher had to drop (the
+	// host's orchestrator rejected a dequeued spec) — surfaced instead
+	// of silently losing the nym.
+	launchErrs map[string]error
+
+	watchers *sim.Broadcast
+
+	migrations     int
+	migrationWire  int64
+	rebalScheduled bool
+	rebalancing    bool
+}
+
+// New builds a cluster of cfg.Hosts hosts on the world, sharing one
+// cloud-provider set so vault checkpoints written through any host
+// are loadable from every other.
+func New(eng *sim.Engine, world *webworld.World, cfg Config) (*Cluster, error) {
+	cfg.fillDefaults()
+	c := &Cluster{
+		eng:        eng,
+		world:      world,
+		cfg:        cfg,
+		placement:  make(map[string]*Host),
+		specs:      make(map[string]fleet.Spec),
+		migrating:  make(map[string]bool),
+		launchErrs: make(map[string]error),
+		watchers:   sim.NewBroadcast(eng),
+	}
+	providers := core.DefaultProviders(world, cfg.ProviderQuota)
+	for i := 0; i < cfg.Hosts; i++ {
+		hostCfg := cfg.HostConfig
+		hostCfg.Name = fmt.Sprintf("%s%d", cfg.HostPrefix, i)
+		mgr, err := core.NewManagerWith(eng, world, hostCfg, core.ManagerConfig{
+			Uplink:    cfg.Uplink,
+			Providers: providers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		h := &Host{name: hostCfg.Name, mgr: mgr, orch: fleet.New(mgr, cfg.Fleet)}
+		c.hosts = append(c.hosts, h)
+	}
+	for _, h := range c.hosts {
+		c.watchHost(h)
+	}
+	return c, nil
+}
+
+// watchHost runs a daemon that reacts to every state change on one
+// host: dispatch queued launches, arm the rebalancer, wake cluster
+// waiters. The daemon parks (adding nothing to the event queue) when
+// the host is quiet, so an idle cluster drains the engine.
+func (c *Cluster) watchHost(h *Host) {
+	c.eng.Go("cluster/watch-"+h.name, func(p *sim.Proc) {
+		for {
+			sim.Await(p, h.orch.ChangeFuture())
+			c.onChange()
+		}
+	})
+}
+
+// onChange is the cluster's scheduling pulse.
+func (c *Cluster) onChange() {
+	c.dispatch()
+	c.maybeScheduleRebalance()
+	c.notify()
+}
+
+func (c *Cluster) notify() { c.watchers.Notify() }
+
+func (c *Cluster) parkOnChange(p *sim.Proc) { c.watchers.Park(p) }
+
+// Hosts returns the pool in fixed order.
+func (c *Cluster) Hosts() []*Host { return append([]*Host(nil), c.hosts...) }
+
+// Host returns a pool member by name, or nil.
+func (c *Cluster) Host(name string) *Host {
+	for _, h := range c.hosts {
+		if h.name == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// HostOf returns the host currently responsible for a nym, or nil.
+func (c *Cluster) HostOf(name string) *Host { return c.placement[name] }
+
+// Member returns a nym's fleet member record, or nil.
+func (c *Cluster) Member(name string) *fleet.Member {
+	h := c.placement[name]
+	if h == nil {
+		return nil
+	}
+	return h.orch.Member(name)
+}
+
+// Running returns live nyms across the pool.
+func (c *Cluster) Running() int {
+	n := 0
+	for _, h := range c.hosts {
+		n += h.orch.Running()
+	}
+	return n
+}
+
+// QueuedClusterWide returns launches the placement layer is holding
+// because no host can admit them yet.
+func (c *Cluster) QueuedClusterWide() int { return len(c.pending) }
+
+// PeakQueued returns the cluster-wide queue's high-water mark.
+func (c *Cluster) PeakQueued() int { return c.peakQueued }
+
+// Migrations returns completed cross-host migrations, including
+// re-queued ones once their deferred restore lands.
+func (c *Cluster) Migrations() int { return c.migrations }
+
+// MigrationWireBytes returns the cross-host wire cost of all
+// migrations: vault bytes uploaded by source saves plus bytes
+// downloaded by destination restores (a re-queued migration's save
+// bytes are counted at requeue time, its download when it lands).
+func (c *Cluster) MigrationWireBytes() int64 { return c.migrationWire }
+
+// Launch places one nym through the policy, or queues it
+// cluster-wide when every host is saturated. Like fleet.Launch it
+// returns immediately; a footprint no host could ever admit fails now.
+func (c *Cluster) Launch(spec fleet.Spec) error {
+	if _, dup := c.specs[spec.Name]; dup {
+		return fmt.Errorf("cluster: nym %q already launched", spec.Name)
+	}
+	fp := spec.Opts.Footprint()
+	feasible := false
+	for _, h := range c.hosts {
+		if fp <= h.orch.RAMBudgetBytes() {
+			feasible = true
+			break
+		}
+	}
+	if !feasible {
+		return fmt.Errorf("%w: %q needs %d bytes", ErrNeverPlaceable, spec.Name, fp)
+	}
+	c.specs[spec.Name] = spec
+	if h := c.cfg.Policy.Pick(c.hosts, fp); h != nil {
+		return c.place(h, spec, nil)
+	}
+	c.enqueue(pendingLaunch{spec: spec})
+	return nil
+}
+
+func (c *Cluster) enqueue(pl pendingLaunch) {
+	c.pending = append(c.pending, pl)
+	if len(c.pending) > c.peakQueued {
+		c.peakQueued = len(c.pending)
+	}
+}
+
+// LaunchAll places a batch, returning the first hard error (other
+// members still launch).
+func (c *Cluster) LaunchAll(specs []fleet.Spec) error {
+	var firstErr error
+	for _, spec := range specs {
+		if err := c.Launch(spec); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// place hands a spec to a host's orchestrator and records ownership;
+// ownership is recorded only on success, and a rejected launch's
+// failed stub (fleet registers one for a hard admission error) is
+// detached so the name is not stranded on the host.
+func (c *Cluster) place(h *Host, spec fleet.Spec, cp *fleet.Checkpoint) error {
+	var m *fleet.Member
+	var err error
+	if cp != nil {
+		m, err = h.orch.LaunchRestored(spec, *cp)
+	} else {
+		m, err = h.orch.Launch(spec)
+	}
+	if err != nil {
+		h.orch.Detach(spec.Name) // best effort; no member may exist
+		return err
+	}
+	c.placement[spec.Name] = h
+	if cp != nil {
+		// This is the deferred half of a migration whose first
+		// destination failed: when the restore lands, count the move
+		// and its download wire so MigrationWireBytes stays honest.
+		c.watchRestored(h, m)
+	}
+	return nil
+}
+
+// watchRestored completes a re-queued migration's accounting once its
+// vault restore reaches Running on the new host.
+func (c *Cluster) watchRestored(h *Host, m *fleet.Member) {
+	c.eng.Go("cluster/restored-"+m.Name(), func(p *sim.Proc) {
+		for m.State() != fleet.StateRunning && m.State() != fleet.StateFailed {
+			sim.Await(p, h.orch.ChangeFuture())
+		}
+		if m.State() == fleet.StateRunning && m.Nym() != nil {
+			c.migrations++
+			c.migrationWire += m.Nym().RestoreStats().DownloadedBytes
+			c.notify()
+		}
+	})
+}
+
+// dispatch drains the cluster-wide queue in FIFO order while the
+// policy can place its head. A launch the chosen host rejects is
+// recorded in launchErrs rather than silently dropped.
+func (c *Cluster) dispatch() {
+	for len(c.pending) > 0 {
+		head := c.pending[0]
+		h := c.cfg.Policy.Pick(c.hosts, head.spec.Opts.Footprint())
+		if h == nil {
+			return
+		}
+		c.pending = c.pending[1:]
+		if err := c.place(h, head.spec, head.cp); err != nil {
+			c.launchErrs[head.spec.Name] = err
+		}
+	}
+}
+
+// LaunchErrors returns launches the dispatcher could not place on the
+// host the policy chose (keyed by nym name). Empty in healthy runs.
+func (c *Cluster) LaunchErrors() map[string]error {
+	out := make(map[string]error, len(c.launchErrs))
+	for k, v := range c.launchErrs {
+		out[k] = v
+	}
+	return out
+}
+
+// AwaitRunning parks the caller until target nyms run simultaneously
+// across the pool, erroring instead of parking forever when nothing in
+// flight can close the gap.
+func (c *Cluster) AwaitRunning(p *sim.Proc, target int) error {
+	for {
+		if c.Running() >= target {
+			return nil
+		}
+		if !c.anyPending() {
+			return fmt.Errorf("cluster: %d/%d running and nothing pending (%d failed)",
+				c.Running(), target, c.countState(fleet.StateFailed))
+		}
+		c.parkOnChange(p)
+	}
+}
+
+// AwaitSettled parks until no launch or teardown is in flight
+// anywhere in the pool and no rebalance pass is running or armed to
+// fire — a caller that reads a snapshot afterwards will not have it
+// invalidated by a migration the rebalancer had already scheduled.
+func (c *Cluster) AwaitSettled(p *sim.Proc) {
+	for c.anyPending() || c.countState(fleet.StateStopping) > 0 || c.rebalancing || c.rebalScheduled {
+		c.parkOnChange(p)
+	}
+}
+
+// anyPending reports whether any launch can still make progress: a
+// cluster-wide queued spec (only meaningful while some host motion
+// could free capacity), or a host-side member mid-flight.
+func (c *Cluster) anyPending() bool {
+	inFlight := false
+	for _, h := range c.hosts {
+		if h.orch.CountState(fleet.StateStarting) > 0 ||
+			h.orch.CountState(fleet.StateRestarting) > 0 ||
+			h.orch.CountState(fleet.StateStopping) > 0 {
+			inFlight = true
+			break
+		}
+		if h.orch.CountState(fleet.StateQueued) > 0 && !h.orch.QueueStalled() {
+			inFlight = true
+			break
+		}
+	}
+	if inFlight {
+		return true
+	}
+	// Only the cluster queue remains: it is pending only if something
+	// could still place its head — and with nothing in flight, nothing
+	// will. Report stalled (not pending) so waiters error out.
+	return false
+}
+
+func (c *Cluster) countState(s fleet.MemberState) int {
+	n := 0
+	for _, h := range c.hosts {
+		n += h.orch.CountState(s)
+	}
+	return n
+}
+
+// StopAll tears down every running member on every host in parallel.
+func (c *Cluster) StopAll(p *sim.Proc) error {
+	var futs []*sim.Future[struct{}]
+	var errs []error
+	for _, h := range c.hosts {
+		h := h
+		futs = append(futs, c.eng.Go("cluster/stop-"+h.name, func(sp *sim.Proc) {
+			if err := h.orch.StopAll(sp); err != nil {
+				errs = append(errs, err)
+			}
+		}))
+	}
+	for _, f := range futs {
+		sim.Await(p, f)
+	}
+	return errors.Join(errs...)
+}
+
+// Stats is a point-in-time cluster snapshot.
+type Stats struct {
+	Hosts              int
+	Running            int
+	QueuedClusterWide  int
+	PeakQueued         int
+	Migrations         int
+	MigrationWireBytes int64
+	PerHostRunning     []int
+	PerHostShare       []float64
+	PeakRAMBytes       int64 // max over hosts
+}
+
+// Snapshot gathers Stats.
+func (c *Cluster) Snapshot() Stats {
+	st := Stats{
+		Hosts:              len(c.hosts),
+		Running:            c.Running(),
+		QueuedClusterWide:  len(c.pending),
+		PeakQueued:         c.peakQueued,
+		Migrations:         c.migrations,
+		MigrationWireBytes: c.migrationWire,
+	}
+	for _, h := range c.hosts {
+		st.PerHostRunning = append(st.PerHostRunning, h.orch.Running())
+		st.PerHostShare = append(st.PerHostShare, h.ReservedShare())
+		if peak := h.orch.PeakRAMBytes(); peak > st.PeakRAMBytes {
+			st.PeakRAMBytes = peak
+		}
+	}
+	return st
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"nymix/internal/fleet"
+	"nymix/internal/sim"
+	"nymix/internal/vault"
+)
+
+// MigrationReport describes one completed (or attempted) migration.
+type MigrationReport struct {
+	Name      string
+	From, To  string
+	Save      vault.SaveStats
+	WireBytes int64 // vault bytes shipped: source upload + destination download
+	Retried   bool  // restored from a prior checkpoint after a mid-migration failure
+}
+
+// MigrateNym moves a nym from its current host to dstHost, preserving
+// its identity end to end:
+//
+//  1. the source orchestrator checkpoints the nym through the
+//     NymVault (chunk dedup makes this a delta if the nym was swept
+//     before);
+//  2. the source nymbox is terminated and its member detached, so the
+//     source releases the RAM reservation and can never resurrect the
+//     nym;
+//  3. the destination orchestrator admits the nym like any launch and
+//     restores it from the vault checkpoint.
+//
+// The vault checkpoint is the migration channel AND the crash net: if
+// the nym dies between the source save and the destination restore
+// (or the fresh save itself fails under it), the migration falls back
+// to the last recorded checkpoint and the destination restore is
+// retried from there — durable state is never lost, and neither host
+// leaks a reservation.
+//
+// The call blocks its process until the nym is Running on the
+// destination or its restart budget is spent.
+func (c *Cluster) MigrateNym(p *sim.Proc, name, dstHost string) (MigrationReport, error) {
+	src := c.placement[name]
+	if src == nil {
+		return MigrationReport{}, fmt.Errorf("%w: %q", ErrUnknownNym, name)
+	}
+	dst := c.Host(dstHost)
+	if dst == nil {
+		return MigrationReport{}, fmt.Errorf("%w: %q", ErrUnknownHost, dstHost)
+	}
+	if dst == src {
+		return MigrationReport{}, fmt.Errorf("cluster: %q already runs on %s", name, dstHost)
+	}
+	m := src.orch.Member(name)
+	if m == nil {
+		return MigrationReport{}, fmt.Errorf("%w: %q", ErrUnknownNym, name)
+	}
+	// One migration per nym at a time: a user-initiated move racing a
+	// rebalance pass must lose cleanly, not fight over the teardown.
+	if c.migrating[name] {
+		return MigrationReport{}, fmt.Errorf("cluster: %q is already migrating", name)
+	}
+	c.migrating[name] = true
+	defer delete(c.migrating, name)
+	rep := MigrationReport{Name: name, From: src.name, To: dst.name}
+
+	// 1. Fresh checkpoint on the source. A failure here (the nym
+	// crashed under the save, the provider rejected it) is survivable
+	// as long as some prior checkpoint exists.
+	stats, saveErr := src.orch.CheckpointNym(p, name, c.cfg.VaultPassword, c.cfg.DestFor(name))
+	if saveErr == nil {
+		rep.Save = stats
+		rep.WireBytes += stats.UploadedBytes
+	} else {
+		rep.Retried = true
+	}
+	cp, ok := m.Checkpoint()
+	if !ok {
+		return rep, fmt.Errorf("cluster: migrate %q: no vault checkpoint to carry (save failed: %v)", name, saveErr)
+	}
+
+	// 2. Tear down on the source and detach. The member may be
+	// mid-transition (a crash during the save put it in Restarting, or
+	// its supervisor already rebooted it); drive until it is gone.
+	var stopErr error
+	for {
+		if m.State() == fleet.StateRunning {
+			if err := src.orch.Stop(p, name); err != nil {
+				stopErr = err
+			}
+		}
+		err := src.orch.Detach(name)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, fleet.ErrUnknownMember) {
+			// The member vanished under us — cannot happen while the
+			// migrating guard holds, but never loop forever on it.
+			return rep, errors.Join(fmt.Errorf("cluster: migrate %q: member disappeared mid-migration", name), stopErr)
+		}
+		sim.Await(p, src.orch.ChangeFuture())
+	}
+	delete(c.placement, name)
+
+	// 3. Restore on the destination from the carried checkpoint. A
+	// destination that rejects or fails the restore must not lose the
+	// nym: its durable state is still in the vault, so the launch is
+	// re-queued cluster-wide and relaunches when capacity allows.
+	spec := c.specs[name]
+	requeue := func(cause error) (MigrationReport, error) {
+		dst.orch.Detach(name) // drop a failed stub, if one was registered
+		// The save-side bytes already crossed the wire; the restore's
+		// download (and the migration count) are accounted when the
+		// re-queued launch lands (watchRestored).
+		c.migrationWire += rep.WireBytes
+		c.enqueue(pendingLaunch{spec: spec, cp: &cp})
+		return rep, errors.Join(
+			fmt.Errorf("cluster: migrate %q to %s: %w (re-queued from the vault checkpoint)", name, dst.name, cause),
+			stopErr)
+	}
+	dm, err := dst.orch.LaunchRestored(spec, cp)
+	if err != nil {
+		return requeue(err)
+	}
+	c.placement[name] = dst
+	for dm.State() != fleet.StateRunning && dm.State() != fleet.StateFailed {
+		sim.Await(p, dst.orch.ChangeFuture())
+	}
+	if dm.State() == fleet.StateFailed {
+		delete(c.placement, name)
+		return requeue(fmt.Errorf("restore failed: %w", dm.LastErr()))
+	}
+	rep.WireBytes += dm.Nym().RestoreStats().DownloadedBytes
+	c.migrations++
+	c.migrationWire += rep.WireBytes
+	return rep, stopErr
+}

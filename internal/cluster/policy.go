@@ -1,0 +1,61 @@
+package cluster
+
+import "nymix/internal/cpusched"
+
+func defaultChip() cpusched.Config { return cpusched.Config{Cores: 16, SMTFactor: 1.3} }
+
+// Policy decides which host admits a launch. Pick returns nil when no
+// host can take the footprint right now, which queues the launch
+// cluster-wide until capacity frees.
+//
+// Pick is only consulted with hosts whose orchestrators expose their
+// admission picture (ReservedBytes, RAMBudgetBytes, CanAdmit); it
+// must not block.
+type Policy interface {
+	Name() string
+	Pick(hosts []*Host, footprint int64) *Host
+}
+
+// LeastReserved places each nym on the admitting host with the lowest
+// reserved share of its budget — the default, which keeps the pool
+// evenly loaded so no host becomes a thermal or failure hot spot.
+type LeastReserved struct{}
+
+// Name implements Policy.
+func (LeastReserved) Name() string { return "least-reserved" }
+
+// Pick implements Policy.
+func (LeastReserved) Pick(hosts []*Host, footprint int64) *Host {
+	var best *Host
+	var bestShare float64
+	for _, h := range hosts {
+		if !h.orch.CanAdmit(footprint) {
+			continue
+		}
+		share := h.ReservedShare()
+		if best == nil || share < bestShare {
+			best, bestShare = h, share
+		}
+	}
+	return best
+}
+
+// PackFirst fills hosts in pool order, moving to the next only when
+// the current one cannot admit the footprint. It maximizes KSM page
+// sharing and lets trailing hosts be powered down — and is the
+// natural foil for the rebalancer, which spreads a packed pool back
+// out when the lead hosts run hot.
+type PackFirst struct{}
+
+// Name implements Policy.
+func (PackFirst) Name() string { return "pack-first" }
+
+// Pick implements Policy.
+func (PackFirst) Pick(hosts []*Host, footprint int64) *Host {
+	for _, h := range hosts {
+		if h.orch.CanAdmit(footprint) {
+			return h
+		}
+	}
+	return nil
+}

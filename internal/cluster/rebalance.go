@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"time"
+
+	"nymix/internal/core"
+	"nymix/internal/fleet"
+	"nymix/internal/sim"
+)
+
+// RebalanceConfig tunes the hot-host rebalancer.
+type RebalanceConfig struct {
+	// Enabled arms the daemon; a disabled rebalancer costs nothing.
+	Enabled bool
+	// Interval spaces rebalance passes (default 30s).
+	Interval time.Duration
+	// HotShare marks a host hot when its reserved share of budget
+	// exceeds it (default 0.85).
+	HotShare float64
+	// ColdShare is the ceiling a destination must sit under to
+	// receive a migrated nym (default 0.6) — migrating onto a warm
+	// host would just move the hot spot.
+	ColdShare float64
+	// MaxMovesPerPass bounds migrations per pass (default 2), so a
+	// pass is a nudge, not a stampede of simultaneous vault restores.
+	MaxMovesPerPass int
+}
+
+func (r *RebalanceConfig) fillDefaults() {
+	if r.Interval <= 0 {
+		r.Interval = 30 * time.Second
+	}
+	if r.HotShare <= 0 || r.HotShare > 1 {
+		r.HotShare = 0.85
+	}
+	if r.ColdShare <= 0 || r.ColdShare >= r.HotShare {
+		r.ColdShare = 0.6
+	}
+	if r.MaxMovesPerPass <= 0 {
+		r.MaxMovesPerPass = 2
+	}
+}
+
+// planMove computes the next rebalance move — the hottest host that
+// actually has a migratable member AND a cold destination able to
+// admit it — or nils when no move is possible. Arming (rebalanceNeeded)
+// and execution (rebalancePass) share this one planner, so the timer
+// can never re-arm for a pass that would make zero moves: a hot host
+// full of ephemeral nyms, or a cold host without admission room, does
+// not count as work.
+func (c *Cluster) planMove() (*fleet.Member, *Host) {
+	if !c.cfg.Rebalance.Enabled {
+		return nil, nil
+	}
+	var bestM *fleet.Member
+	var bestDst *Host
+	var bestShare float64
+	for _, h := range c.hosts {
+		share := h.ReservedShare()
+		if share <= c.cfg.Rebalance.HotShare || share <= bestShare {
+			continue
+		}
+		m := c.coldestPersistent(h)
+		if m == nil {
+			continue
+		}
+		dst := c.coldDestination(h, m.Footprint())
+		if dst == nil {
+			continue
+		}
+		bestM, bestDst, bestShare = m, dst, share
+	}
+	return bestM, bestDst
+}
+
+// rebalanceNeeded reports whether a pass could do useful work.
+func (c *Cluster) rebalanceNeeded() bool {
+	m, _ := c.planMove()
+	return m != nil
+}
+
+// maybeScheduleRebalance arms one pass Interval out, the same
+// state-driven idiom as the fleet's KSM daemon: the timer exists only
+// while a pass could help, so a balanced (or idle) cluster leaves the
+// event queue empty and the engine drainable.
+func (c *Cluster) maybeScheduleRebalance() {
+	if c.rebalScheduled || c.rebalancing || !c.rebalanceNeeded() {
+		return
+	}
+	c.rebalScheduled = true
+	c.eng.Schedule(c.cfg.Rebalance.Interval, func() {
+		c.rebalScheduled = false
+		if c.rebalancing || !c.rebalanceNeeded() {
+			c.notify() // AwaitSettled watches rebalScheduled; wake it
+			return
+		}
+		c.rebalancing = true
+		c.eng.Go("cluster/rebalance", func(p *sim.Proc) {
+			c.rebalancePass(p)
+			c.rebalancing = false
+			c.onChange() // re-arm if still hot, wake waiters
+		})
+	})
+}
+
+// rebalancePass migrates up to MaxMovesPerPass of the coldest
+// persistent nyms off the hottest hosts toward the least-loaded cold
+// hosts. Migration failures are absorbed: a failed destination
+// restore re-queues the nym cluster-wide from its vault checkpoint
+// (see MigrateNym), and a failed source save leaves the nym where it
+// was for a later pass.
+func (c *Cluster) rebalancePass(p *sim.Proc) {
+	for moves := 0; moves < c.cfg.Rebalance.MaxMovesPerPass; moves++ {
+		victim, dst := c.planMove()
+		if victim == nil {
+			return
+		}
+		c.MigrateNym(p, victim.Name(), dst.name)
+	}
+}
+
+// coldestPersistent returns the host's longest-running persistent
+// member — the nym least likely to be mid-interaction, and the one
+// whose vault checkpoint is most amortized — or nil. Members already
+// mid-migration are skipped.
+func (c *Cluster) coldestPersistent(h *Host) *fleet.Member {
+	var coldest *fleet.Member
+	for _, m := range h.orch.Members() {
+		if m.State() != fleet.StateRunning || m.Nym() == nil || m.Nym().Model() != core.ModelPersistent {
+			continue
+		}
+		if c.migrating[m.Name()] {
+			continue
+		}
+		if coldest == nil || m.RunningAt() < coldest.RunningAt() {
+			coldest = m
+		}
+	}
+	return coldest
+}
+
+// coldDestination returns the least-loaded host under the cold
+// watermark that can admit the footprint, or nil.
+func (c *Cluster) coldDestination(src *Host, footprint int64) *Host {
+	var best *Host
+	var bestShare float64
+	for _, h := range c.hosts {
+		if h == src || !h.orch.CanAdmit(footprint) {
+			continue
+		}
+		share := h.ReservedShare()
+		if share >= c.cfg.Rebalance.ColdShare {
+			continue
+		}
+		if best == nil || share < bestShare {
+			best, bestShare = h, share
+		}
+	}
+	return best
+}

@@ -114,7 +114,11 @@ type Manager struct {
 	net   *vnet.Network
 	world *webworld.World
 	host  *hypervisor.Host
-	nyms  map[string]*Nym
+	// vmPrefix scopes VM (and so network node) names to this manager's
+	// host, so several managers can share one simulated Internet. The
+	// default single-host deployment keeps the paper's bare names.
+	vmPrefix string
+	nyms     map[string]*Nym
 	// starting reserves names while a nymbox is mid-launch, so
 	// concurrent StartNym pipelines (internal/fleet) cannot race two
 	// nyms onto one name.
@@ -130,14 +134,53 @@ type Manager struct {
 	sani         *vm.VM
 }
 
+// ManagerConfig carries the host-scoped wiring that distinguishes one
+// Nymix machine from another when several share a simulated Internet.
+// The zero value reproduces the paper's single-host deployment.
+type ManagerConfig struct {
+	// Uplink overrides the host's uplink link parameters (default:
+	// the paper's rate-limited webworld.UplinkConfig). A production
+	// cluster host gets a datacenter-grade uplink, not a DSL line.
+	Uplink *vnet.LinkConfig
+	// Providers is a shared cloud-provider set. When nil the manager
+	// creates the default providers itself (valid only once per
+	// world); a cluster builds one set with DefaultProviders and hands
+	// it to every manager, so a vault checkpoint stored through host A
+	// is visible to a restore on host B.
+	Providers map[string]*cloud.Provider
+}
+
+// DefaultProviders registers the standard cloud providers (dropbin,
+// gdrive) on the world's backbone, with quota bytes per account. Call
+// it once per world and share the result among managers.
+func DefaultProviders(world *webworld.World, quota int64) map[string]*cloud.Provider {
+	providerCfg := vnet.LinkConfig{Latency: 2 * time.Millisecond, Capacity: 1e9 / 8}
+	out := make(map[string]*cloud.Provider)
+	for _, name := range []string{"dropbin", "gdrive"} {
+		out[name] = cloud.NewProvider(world.Net(), world.Internet(), name, quota, providerCfg)
+	}
+	return out
+}
+
 // NewManager boots a Nymix host attached to the world's gateway and
 // registers the default cloud providers.
 func NewManager(eng *sim.Engine, world *webworld.World, hostCfg hypervisor.Config) (*Manager, error) {
+	return NewManagerWith(eng, world, hostCfg, ManagerConfig{})
+}
+
+// NewManagerWith boots a Nymix host with explicit host-scoped wiring;
+// see ManagerConfig. A host named anything but the default prefixes
+// its VMs' names, so many hosts coexist on one network.
+func NewManagerWith(eng *sim.Engine, world *webworld.World, hostCfg hypervisor.Config, cfg ManagerConfig) (*Manager, error) {
 	host, err := hypervisor.New(eng, world.Net(), hostCfg)
 	if err != nil {
 		return nil, err
 	}
-	host.ConnectUplink(world.Gateway(), webworld.UplinkConfig)
+	uplink := webworld.UplinkConfig
+	if cfg.Uplink != nil {
+		uplink = *cfg.Uplink
+	}
+	host.ConnectUplink(world.Gateway(), uplink)
 	m := &Manager{
 		eng:          eng,
 		net:          world.Net(),
@@ -145,13 +188,15 @@ func NewManager(eng *sim.Engine, world *webworld.World, hostCfg hypervisor.Confi
 		host:         host,
 		nyms:         make(map[string]*Nym),
 		starting:     make(map[string]bool),
-		providers:    make(map[string]*cloud.Provider),
+		providers:    cfg.Providers,
 		localStore:   make(map[string][]byte),
 		vaultIndexes: make(map[string]*vault.Index),
 	}
-	providerCfg := vnet.LinkConfig{Latency: 2 * time.Millisecond, Capacity: 1e9 / 8}
-	for _, name := range []string{"dropbin", "gdrive"} {
-		m.providers[name] = cloud.NewProvider(world.Net(), world.Internet(), name, 2<<30, providerCfg)
+	if name := host.Node().Name(); name != "host" {
+		m.vmPrefix = name + "."
+	}
+	if m.providers == nil {
+		m.providers = DefaultProviders(world, 2<<30)
 	}
 	return m, nil
 }
@@ -196,16 +241,20 @@ func (s StartPhases) Total() time.Duration {
 
 // Nym is one running pseudonym bound to its nymbox.
 type Nym struct {
-	mgr        *Manager
-	name       string
-	model      UsageModel
-	opts       Options
-	anonVM     *vm.VM
-	commVM     *vm.VM
-	anon       anonnet.Anonymizer
-	browser    *browser.Browser
-	phases     StartPhases
-	cycles     int
+	mgr     *Manager
+	name    string
+	model   UsageModel
+	opts    Options
+	anonVM  *vm.VM
+	commVM  *vm.VM
+	anon    anonnet.Anonymizer
+	browser *browser.Browser
+	phases  StartPhases
+	cycles  int
+	// restore carries the vault download stats when this nym was
+	// restored through LoadNymVault; zero for fresh or monolithic
+	// starts. Cluster migration sums it into cross-host wire cost.
+	restore    vault.LoadStats
 	terminated bool
 	buddiesMon *buddies.Monitor // optional intersection-attack guard (section 7)
 }
@@ -234,6 +283,10 @@ func (n *Nym) Phases() StartPhases { return n.phases }
 // Cycles returns completed save/restore cycles.
 func (n *Nym) Cycles() int { return n.cycles }
 
+// RestoreStats returns the vault download stats of the restore that
+// produced this nym (zero unless it came through LoadNymVault).
+func (n *Nym) RestoreStats() vault.LoadStats { return n.restore }
+
 // StartNym creates, wires, and boots a fresh nymbox, then bootstraps
 // its anonymizer. It blocks the calling process for the full startup.
 func (m *Manager) StartNym(p *sim.Proc, name string, opts Options) (*Nym, error) {
@@ -256,8 +309,8 @@ func (m *Manager) startNym(p *sim.Proc, name string, opts Options, restore *rest
 	opts.fillDefaults()
 	m.nextID++
 	id := m.nextID
-	anonName := fmt.Sprintf("nym%d-anon", id)
-	commName := fmt.Sprintf("nym%d-comm", id)
+	anonName := fmt.Sprintf("%snym%d-anon", m.vmPrefix, id)
+	commName := fmt.Sprintf("%snym%d-comm", m.vmPrefix, id)
 	anonVM, err := m.host.LaunchVM(vm.Config{
 		Name: anonName, Role: guestos.RoleAnonVM,
 		RAMBytes: opts.AnonRAM, DiskBytes: opts.AnonDisk, Anonymizer: opts.Anonymizer,
@@ -340,7 +393,10 @@ func (m *Manager) startNym(p *sim.Proc, name string, opts Options, restore *rest
 		n.cycles = restore.state.Cycles
 		n.phases.EphemeralNym = restore.ephemeralPhase
 	}
-	n.browser = browser.New(m.world, m.net, anonVM, commName, anon, browser.Config{CacheCap: opts.CacheCap})
+	n.browser = browser.New(m.world, m.net, anonVM, commName, anon, browser.Config{
+		CacheCap:  opts.CacheCap,
+		RenderCPU: m.host.SubmitVMTask,
+	})
 	m.nyms[name] = n
 	launched = true
 	return n, nil

@@ -376,7 +376,12 @@ func (m *Manager) LoadNymVault(p *sim.Proc, name, password string, opts Options,
 	if err := m.chargeHostCPU(p, "decompress/"+name, float64(nymstate.LogicalSize(st))/nymstate.CompressRate); err != nil {
 		return nil, err
 	}
-	return m.startNym(p, name, opts, &restoredState{state: st, ephemeralPhase: ephemeral})
+	n, err := m.startNym(p, name, opts, &restoredState{state: st, ephemeralPhase: ephemeral})
+	if err != nil {
+		return nil, err
+	}
+	n.restore = stats
+	return n, nil
 }
 
 // VaultGC prunes chunks the latest manifest no longer references from

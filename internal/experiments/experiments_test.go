@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"nymix/internal/core"
+	"nymix/internal/cpusched"
+	"nymix/internal/hypervisor"
 )
 
 // The tests here assert the DESIGN.md shape criteria: the qualitative
@@ -394,6 +396,61 @@ func TestRenderersProduceOutput(t *testing.T) {
 		if !strings.Contains(out, "#") || len(out) < 50 {
 			t.Fatalf("%s render too small:\n%s", name, out)
 		}
+	}
+}
+
+func TestFleetShardsShape(t *testing.T) {
+	// Small hosts so the rebalancer trips at test scale: a 6 GiB host
+	// holds ~25 density-tuned nymboxes, so 24 nyms pack one host past
+	// the 85% watermark while the other idles.
+	rows, err := FleetShardsOn(5, 24, 2, hypervisor.Config{
+		RAMBytes: 6 << 30,
+		CPU:      cpusched.Config{Cores: 8, SMTFactor: 1.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	least, pack := rows[0], rows[1]
+	if least.Policy != "least-reserved" || pack.Policy != "pack-first" {
+		t.Fatalf("policies = %q/%q", least.Policy, pack.Policy)
+	}
+	for _, r := range rows {
+		total := 0
+		for _, n := range r.PerHost {
+			total += n
+		}
+		if total != r.Nyms {
+			t.Errorf("%s: %d of %d nyms running (%v)", r.Policy, total, r.Nyms, r.PerHost)
+		}
+		if r.Restarts != 0 {
+			t.Errorf("%s: %d restarts", r.Policy, r.Restarts)
+		}
+		// The rebalancer converged: no host ends above the watermark.
+		if r.MaxShare > 0.85+1e-9 {
+			t.Errorf("%s: hottest host still at %.2f after rebalance", r.Policy, r.MaxShare)
+		}
+	}
+	// Least-reserved spreads for free: even split, no migrations.
+	if least.Migrations != 0 {
+		t.Errorf("least-reserved migrated %d nyms", least.Migrations)
+	}
+	for i, n := range least.PerHost {
+		if n != least.Nyms/least.Hosts {
+			t.Errorf("least-reserved host %d runs %d, want even %v", i, n, least.PerHost)
+		}
+	}
+	// Pack-first lands hot and pays vault wire to cool down.
+	if pack.Migrations == 0 {
+		t.Error("pack-first never triggered the rebalancer")
+	}
+	if pack.MigrationWireMB <= 0 {
+		t.Error("migrations shipped no cross-host wire")
+	}
+	if pack.PerHost[0] <= pack.PerHost[1] {
+		t.Errorf("pack-first placement not skewed: %v", pack.PerHost)
 	}
 }
 

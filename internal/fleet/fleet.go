@@ -44,6 +44,7 @@ import (
 
 	"nymix/internal/core"
 	"nymix/internal/sim"
+	"nymix/internal/vault"
 )
 
 // Errors.
@@ -51,6 +52,7 @@ var (
 	ErrNeverAdmissible = errors.New("fleet: requested footprint exceeds admissible host RAM")
 	ErrUnknownMember   = errors.New("fleet: unknown member")
 	ErrNotRunning      = errors.New("fleet: member not running")
+	ErrNotDetachable   = errors.New("fleet: member not detachable while its nymbox is live")
 )
 
 // RestartPolicy bounds how persistently the fleet revives a failing
@@ -176,14 +178,27 @@ type Member struct {
 	// checkpoint records the member's most recent successful vault
 	// save; a restart restores from it instead of booting blank, so a
 	// crash cannot cost a persistent nym its durable state.
-	checkpoint *memberCheckpoint
+	checkpoint *Checkpoint
+	// detached tells the member's supervision process to stand down:
+	// the member has been handed off (migrated to another host) and
+	// must not be restarted here.
+	detached bool
+	// pendingRes is the RAM reservation enqueued synchronously by
+	// Launch, consumed by the first runLaunch attempt. Reserving at
+	// Launch time (not when the supervise proc first runs) means
+	// ReservedBytes reflects a launch the moment it is accepted — a
+	// cluster placement layer that spreads a batch across hosts must
+	// see each placement it just made.
+	pendingRes *sim.Future[struct{}]
 }
 
-// memberCheckpoint is where (and under which password) a member's
-// state was last vault-saved.
-type memberCheckpoint struct {
-	password string
-	dest     core.VaultDest
+// Checkpoint is where (and under which password) a member's state was
+// last vault-saved. It is the portable half of a member: a cluster
+// migration carries it to another host's orchestrator, which restores
+// the nym from the vault instead of booting it blank.
+type Checkpoint struct {
+	Password string
+	Dest     core.VaultDest
 }
 
 // Name returns the member's nym name.
@@ -210,6 +225,17 @@ func (m *Member) RunningAt() sim.Time { return m.runningAt }
 // Footprint returns the host RAM the member reserves while admitted.
 func (m *Member) Footprint() int64 { return m.footprint }
 
+// Checkpoint returns the member's last recorded vault checkpoint.
+func (m *Member) Checkpoint() (Checkpoint, bool) {
+	if m.checkpoint == nil {
+		return Checkpoint{}, false
+	}
+	return *m.checkpoint, true
+}
+
+// Spec returns the launch spec the member runs under.
+func (m *Member) Spec() Spec { return m.spec }
+
 // Orchestrator drives a fleet of nyms over one Manager.
 type Orchestrator struct {
 	mgr *core.Manager
@@ -222,9 +248,9 @@ type Orchestrator struct {
 	members map[string]*Member
 	order   []string
 
-	// watchers are completed on every member state change; AwaitRunning
-	// and AwaitSettled park on them.
-	watchers []*sim.Future[struct{}]
+	// watchers is notified on every member state change; AwaitRunning
+	// and AwaitSettled park on it.
+	watchers *sim.Broadcast
 
 	// ops counts explicit in-flight operations (save sweeps,
 	// teardowns). Together with member states it drives the KSM
@@ -259,6 +285,7 @@ func New(mgr *core.Manager, cfg Config) *Orchestrator {
 		ram:       newSem(eng, budget),
 		startGate: newSem(eng, int64(cfg.startGateWidth(host.CPU().Config().Cores))),
 		members:   make(map[string]*Member),
+		watchers:  sim.NewBroadcast(eng),
 	}
 }
 
@@ -279,6 +306,17 @@ func (o *Orchestrator) ReservedBytes() int64 { return o.ram.used }
 
 // QueuedLaunches returns launches waiting for RAM admission.
 func (o *Orchestrator) QueuedLaunches() int { return o.ram.queued() }
+
+// HeadroomBytes returns the admission headroom: budget minus current
+// reservations. It is what a cluster placement policy bids with.
+func (o *Orchestrator) HeadroomBytes() int64 { return o.ram.capacity - o.ram.used }
+
+// CanAdmit reports whether a launch of the given footprint would be
+// admitted immediately — enough free budget and no earlier launch
+// queued ahead of it (admission is strict FIFO).
+func (o *Orchestrator) CanAdmit(footprint int64) bool {
+	return o.ram.queued() == 0 && footprint <= o.HeadroomBytes()
+}
 
 // PeakRAMBytes returns the highest physical host memory use sampled
 // during fleet operations.
@@ -334,8 +372,22 @@ func (o *Orchestrator) Launch(spec Spec) (*Member, error) {
 	}
 	o.members[spec.Name] = m
 	o.order = append(o.order, spec.Name)
+	m.pendingRes = o.ram.reserve(m.footprint)
 	o.superviseLaunch(m, 0)
 	return m, nil
+}
+
+// LaunchRestored enqueues a nym whose first boot restores the given
+// vault checkpoint instead of starting blank. This is the receiving
+// half of a cross-host migration: the destination orchestrator admits
+// the member like any launch (RAM reservation, start gate, restart
+// policy) but its state comes off the vault.
+func (o *Orchestrator) LaunchRestored(spec Spec, cp Checkpoint) (*Member, error) {
+	m, err := o.Launch(spec)
+	if m != nil && err == nil {
+		m.checkpoint = &cp
+	}
+	return m, err
 }
 
 // LaunchAll enqueues a batch, returning the first hard admission error
@@ -373,14 +425,41 @@ func (o *Orchestrator) superviseLaunch(m *Member, delay time.Duration) {
 // (The throwaway loader nym inside LoadNymVault is transient and not
 // separately reserved.)
 func (o *Orchestrator) runLaunch(p *sim.Proc, m *Member) {
+	res := m.pendingRes
+	m.pendingRes = nil
 	for {
-		sim.Await(p, o.ram.reserve(m.footprint))
+		if m.detached && res == nil {
+			return
+		}
+		if res == nil {
+			res = o.ram.reserve(m.footprint)
+		}
+		// An already-enqueued reservation must be seen through even if
+		// the member detaches meanwhile: its eventual grant is released
+		// below, never leaked in the semaphore's queue.
+		_, err := sim.Await(p, res)
+		res = nil
+		if err != nil {
+			// Oversized for the whole budget — Launch pre-checks this, so
+			// only a shrunken budget could trip it; fail, don't wedge.
+			m.lastErr = err
+			o.setState(m, StateFailed)
+			return
+		}
+		if m.detached {
+			o.ram.release(m.footprint)
+			return
+		}
 		sim.Await(p, o.startGate.reserve(1))
+		if m.detached {
+			o.startGate.release(1)
+			o.ram.release(m.footprint)
+			return
+		}
 		o.setState(m, StateStarting)
 		var nym *core.Nym
-		var err error
 		if cp := m.checkpoint; cp != nil {
-			nym, err = o.mgr.LoadNymVault(p, m.spec.Name, cp.password, m.spec.Opts, cp.dest)
+			nym, err = o.mgr.LoadNymVault(p, m.spec.Name, cp.Password, m.spec.Opts, cp.Dest)
 		} else {
 			nym, err = o.mgr.StartNym(p, m.spec.Name, m.spec.Opts)
 		}
@@ -477,6 +556,13 @@ func (o *Orchestrator) AwaitRunning(p *sim.Proc, target int) error {
 	}
 }
 
+// QueueStalled reports whether the admission queue is stalled: only
+// queued members remain and nothing in flight will free or claim the
+// capacity their FIFO head needs. A cluster placement layer uses it
+// to tell "this host will admit its queue eventually" from "only an
+// external stop could unwedge this host".
+func (o *Orchestrator) QueueStalled() bool { return o.queueStalled() }
+
 // queueStalled reports that the only pending members are parked in
 // the RAM admission queue and nothing in flight will free or claim
 // capacity: the semaphore admits strictly FIFO, and a queue is only
@@ -542,9 +628,19 @@ func (o *Orchestrator) anyPending() bool {
 }
 
 func (o *Orchestrator) parkOnChange(p *sim.Proc) {
-	w := sim.NewFuture[struct{}](o.eng)
-	o.watchers = append(o.watchers, w)
-	sim.Await(p, w)
+	o.watchers.Park(p)
+}
+
+// ChangeFuture returns a future completed on the orchestrator's next
+// member state change (or detach). A cluster placement layer awaits
+// it to learn when this host's admission picture may have moved.
+func (o *Orchestrator) ChangeFuture() *sim.Future[struct{}] {
+	return o.watchers.Future()
+}
+
+// notify wakes everyone waiting on fleet progress.
+func (o *Orchestrator) notify() {
+	o.watchers.Notify()
 }
 
 // setState transitions a member, keeps the KSM daemon armed for any
@@ -552,11 +648,7 @@ func (o *Orchestrator) parkOnChange(p *sim.Proc) {
 func (o *Orchestrator) setState(m *Member, s MemberState) {
 	m.state = s
 	o.scheduleKSM()
-	ws := o.watchers
-	o.watchers = nil
-	for _, w := range ws {
-		w.Complete(struct{}{}, nil)
-	}
+	o.notify()
 }
 
 // SweepStats aggregates one staggered save sweep.
@@ -622,11 +714,81 @@ func (o *Orchestrator) SaveSweep(p *sim.Proc, password string, destFor func(*Mem
 		st.NewChunks += res.Stats.NewChunks
 		st.TotalChunks += res.Stats.TotalChunks
 		// A successful save becomes the member's restart checkpoint.
-		saved[i].checkpoint = &memberCheckpoint{password: password, dest: dests[i]}
+		saved[i].checkpoint = &Checkpoint{Password: password, Dest: dests[i]}
 	}
 	st.Elapsed = p.Now() - start
 	o.sampleRAM()
 	return st, errors.Join(errs...)
+}
+
+// CheckpointNym vault-saves one Running member synchronously and
+// records the result as its checkpoint (the same record SaveSweep
+// writes). Migration uses it for the source-side save; callers that
+// checkpoint whole fleets should prefer SaveSweep's stagger.
+func (o *Orchestrator) CheckpointNym(p *sim.Proc, name, password string, dest core.VaultDest) (vault.SaveStats, error) {
+	m := o.members[name]
+	if m == nil {
+		return vault.SaveStats{}, fmt.Errorf("%w: %q", ErrUnknownMember, name)
+	}
+	if m.state != StateRunning || m.nym == nil {
+		return vault.SaveStats{}, fmt.Errorf("%w: %q is %v", ErrNotRunning, name, m.state)
+	}
+	o.opStarted()
+	defer o.opDone()
+	stats, err := o.mgr.StoreNymVault(p, m.nym, password, dest)
+	if err != nil {
+		return stats, err
+	}
+	m.checkpoint = &Checkpoint{Password: password, Dest: dest}
+	return stats, nil
+}
+
+// Stop tears down one Running member, releasing its reservation once
+// the wipe completes.
+func (o *Orchestrator) Stop(p *sim.Proc, name string) error {
+	m := o.members[name]
+	if m == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownMember, name)
+	}
+	if m.state != StateRunning || m.nym == nil {
+		return fmt.Errorf("%w: %q is %v", ErrNotRunning, name, m.state)
+	}
+	o.opStarted()
+	defer o.opDone()
+	nym := m.nym
+	m.nym = nil
+	o.setState(m, StateStopping)
+	err := o.mgr.TerminateNym(p, nym)
+	o.ram.release(m.footprint)
+	o.setState(m, StateStopped)
+	return err
+}
+
+// Detach removes a member from the fleet's supervision without
+// touching any nymbox: its record is forgotten, its name freed, and
+// any pending restart of it stands down. Only members whose nymbox is
+// not live (queued, restarting, stopped, failed) can be detached — a
+// migration stops the member first, then detaches it, so the source
+// host cannot resurrect a nym that now runs elsewhere.
+func (o *Orchestrator) Detach(name string) error {
+	m := o.members[name]
+	if m == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownMember, name)
+	}
+	switch m.state {
+	case StateRunning, StateStarting, StateStopping:
+		return fmt.Errorf("%w: %q is %v", ErrNotDetachable, name, m.state)
+	}
+	m.detached = true
+	delete(o.members, name)
+	for i, n := range o.order {
+		if n == name {
+			o.order = append(o.order[:i], o.order[i+1:]...)
+			break
+		}
+	}
+	o.notify()
+	return nil
 }
 
 // StopAll tears down every Running member in parallel, bounded by

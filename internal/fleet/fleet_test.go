@@ -12,6 +12,7 @@ import (
 	"nymix/internal/hypervisor"
 	"nymix/internal/sim"
 	"nymix/internal/unionfs"
+	"nymix/internal/vnet"
 	"nymix/internal/webworld"
 )
 
@@ -530,6 +531,66 @@ func TestRestartRestoresPersistentCheckpoint(t *testing.T) {
 	// checkpoint's content survived the crash round trip.
 	if resweep.Saves != 1 || resweep.NewChunks > resweep.TotalChunks/4 {
 		t.Fatalf("post-revival sweep = %+v: checkpoint content did not survive", resweep)
+	}
+}
+
+// Page-load render/JS now runs through cpusched instead of being
+// free: an identical fleet browsing workload on an identical network
+// must slow down when the chip shrinks, because concurrent renders
+// contend for cores. The uplink is raised to 1 Gbit/s so the network
+// leg is constant and tiny; only the chip differs between the runs.
+func TestFleetBrowsingContendsOnChip(t *testing.T) {
+	browse := func(cores int) (time.Duration, int) {
+		eng := sim.NewEngine(61)
+		_, world := webworld.BuildDefault(eng)
+		fast := vnet.LinkConfig{Latency: time.Millisecond, Capacity: 1e9 / 8}
+		mgr, err := core.NewManagerWith(eng, world, hypervisor.Config{
+			RAMBytes: 16 << 30,
+			CPU:      cpusched.Config{Cores: cores, SMTFactor: 1.3},
+		}, core.ManagerConfig{Uplink: &fast})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := New(mgr, Config{})
+		var elapsed time.Duration
+		run(t, eng, func(p *sim.Proc) {
+			if _, err := o.LaunchAll(specs(8, core.ModelEphemeral)); err != nil {
+				t.Errorf("launch: %v", err)
+			}
+			if err := o.AwaitRunning(p, 8); err != nil {
+				t.Errorf("await: %v", err)
+				return
+			}
+			// All eight browsers load a page at the same instant.
+			start := p.Now()
+			var futs []*sim.Future[struct{}]
+			for _, m := range o.Members() {
+				nym := m.Nym()
+				futs = append(futs, eng.Go("visit-"+m.Name(), func(vp *sim.Proc) {
+					if _, err := nym.Visit(vp, "youtube.com"); err != nil {
+						t.Errorf("visit: %v", err)
+					}
+				}))
+			}
+			for _, f := range futs {
+				sim.Await(p, f)
+			}
+			elapsed = p.Now() - start
+		})
+		return elapsed, mgr.Host().CPU().PeakRunning()
+	}
+	narrow, narrowPeak := browse(1)
+	wide, widePeak := browse(16)
+	if narrowPeak < 8 || widePeak < 8 {
+		t.Fatalf("render tasks never reached the chip: peaks %d/%d", narrowPeak, widePeak)
+	}
+	// Eight renders on one core serialize; on sixteen cores they run
+	// wide open and hide behind the network. The page-load gap — well
+	// over a simulated second on ~0.5 core-seconds of render per page —
+	// is chip contention, since the two runs share every network
+	// parameter and differ only in cores.
+	if narrow < wide+time.Second {
+		t.Fatalf("8-way browsing on 1 core took %v vs %v on 16 cores: renders not contending", narrow, wide)
 	}
 }
 

@@ -1,8 +1,15 @@
 package fleet
 
 import (
+	"fmt"
+
 	"nymix/internal/sim"
 )
+
+// ErrOversized is returned (on the reservation future) for a request
+// that exceeds the semaphore's total capacity: it could never be
+// granted, and letting it queue would wedge everyone behind it.
+var ErrOversized = fmt.Errorf("fleet: reservation exceeds semaphore capacity")
 
 // sem is a weighted semaphore native to the simulation: acquisition
 // returns a future the caller awaits, so oversubscribed requests queue
@@ -41,8 +48,13 @@ func newSem(eng *sim.Engine, capacity int64) *sem {
 
 // reserve returns a future that completes once need units are held by
 // the caller. The grant is immediate (an already-completed future)
-// when capacity is free and no earlier request is still queued.
+// when capacity is free and no earlier request is still queued. A
+// request larger than the whole capacity fails fast with ErrOversized
+// instead of queueing forever at the head and starving the FIFO.
 func (s *sem) reserve(need int64) *sim.Future[struct{}] {
+	if need > s.capacity {
+		return sim.CompletedFuture(s.eng, struct{}{}, fmt.Errorf("%w: need %d, capacity %d", ErrOversized, need, s.capacity))
+	}
 	if len(s.q) == 0 && s.used+need <= s.capacity {
 		s.used += need
 		return sim.CompletedFuture(s.eng, struct{}{}, nil)

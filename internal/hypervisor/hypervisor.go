@@ -36,6 +36,10 @@ const VirtualizationEfficiency = 0.8
 type Config struct {
 	RAMBytes int64           // physical memory (paper testbed: 16 GiB)
 	CPU      cpusched.Config // chip model
+	// Name is the host's network identity. The default ("host")
+	// matches the paper's single-machine deployment; a cluster of
+	// simulated hosts on one network gives each a distinct name.
+	Name string
 }
 
 // DefaultConfig is the paper's evaluation desktop: an Intel i7 quad
@@ -72,6 +76,9 @@ const (
 // built once and shared — it is the very partition the host booted
 // from, reused read-only as every VM's bottom layer (section 3.4).
 func New(eng *sim.Engine, net *vnet.Network, cfg Config) (*Host, error) {
+	if cfg.Name == "" {
+		cfg.Name = "host"
+	}
 	h := &Host{
 		eng:       eng,
 		cfg:       cfg,
@@ -84,7 +91,7 @@ func New(eng *sim.Engine, net *vnet.Network, cfg Config) (*Host, error) {
 		wires:     make(map[string]*vnet.Link),
 	}
 	h.baseRoot = merkle.BuildLayer(h.baseImage).Root()
-	h.node = net.AddNode("host")
+	h.node = net.AddNode(cfg.Name)
 	space, err := h.mem.NewSpace("hypervisor")
 	if err != nil {
 		return nil, err

@@ -161,3 +161,34 @@ func (f *Future[T]) onDone(fn func()) {
 func (f *Future[T]) OnDone(fn func()) {
 	f.onDone(func() { f.eng.Schedule(0, fn) })
 }
+
+// Broadcast is a reusable wake-all condition: waiters take a Future
+// (or Park), and Notify completes every outstanding one. It is the
+// watcher idiom shared by the fleet orchestrator and the cluster
+// placement layer — state changes wake everyone parked on progress.
+type Broadcast struct {
+	eng  *Engine
+	subs []*Future[struct{}]
+}
+
+// NewBroadcast returns a broadcast bound to e.
+func NewBroadcast(e *Engine) *Broadcast { return &Broadcast{eng: e} }
+
+// Future returns a future completed at the next Notify.
+func (b *Broadcast) Future() *Future[struct{}] {
+	f := NewFuture[struct{}](b.eng)
+	b.subs = append(b.subs, f)
+	return f
+}
+
+// Park suspends the process until the next Notify.
+func (b *Broadcast) Park(p *Proc) { Await(p, b.Future()) }
+
+// Notify wakes every outstanding waiter.
+func (b *Broadcast) Notify() {
+	subs := b.subs
+	b.subs = nil
+	for _, f := range subs {
+		f.Complete(struct{}{}, nil)
+	}
+}
