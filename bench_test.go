@@ -200,6 +200,31 @@ func BenchmarkFleetShards(b *testing.B) {
 	b.ReportMetric(wireMB, "MB-cross-host-wire")
 }
 
+func BenchmarkElastic(b *testing.B) {
+	var grows, drainMoves, stalledFixed, p95SysAdmit float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Elastic(uint64(i+1), 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		grows = float64(res.GrowEvents)
+		drainMoves = float64(res.DrainMoves)
+		stalledFixed = float64(res.FixedStalled)
+		for _, r := range res.Rows {
+			if r.Mode == "elastic" && r.Class == "system" {
+				p95SysAdmit = r.P95.Seconds()
+			}
+		}
+		if res.LeakedBytes != 0 {
+			b.Fatalf("drain leaked %d reservation bytes", res.LeakedBytes)
+		}
+	}
+	b.ReportMetric(grows, "hosts-grown")
+	b.ReportMetric(drainMoves, "drain-migrations")
+	b.ReportMetric(stalledFixed, "stalled-on-fixed-pool")
+	b.ReportMetric(p95SysAdmit, "s-p95-system-admit")
+}
+
 func BenchmarkFleetRampUp(b *testing.B) {
 	var ramp256, steady256, peakRAM float64
 	for i := 0; i < b.N; i++ {

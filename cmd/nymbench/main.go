@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	nymbench [-seed N] [-run all|fig3|fig4|fig5|fig6|fig7|table1|validation|ablations|vault|fleet|shards|summary]
-//	         [-nyms N] [-hosts N]   # shards sizing (default 1024 over 4)
+//	nymbench [-seed N] [-run all|fig3|fig4|fig5|fig6|fig7|table1|validation|ablations|vault|fleet|shards|elastic|summary]
+//	         [-nyms N] [-hosts N]   # shards sizing (default 1024 over 4); elastic sizing (default 96 over 2)
 package main
 
 import (
@@ -18,9 +18,9 @@ import (
 
 func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, vault, fleet, shards, summary")
-	nyms := flag.Int("nyms", 0, "shards: fleet size (0 = 1024)")
-	hosts := flag.Int("hosts", 0, "shards: pool size (0 = 4)")
+	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, vault, fleet, shards, elastic, summary")
+	nyms := flag.Int("nyms", 0, "shards: fleet size (0 = 1024); elastic: burst size (0 = 96)")
+	hosts := flag.Int("hosts", 0, "shards: pool size (0 = 4); elastic: initial pool (0 = 2)")
 	flag.Parse()
 
 	runners := map[string]func(uint64) (string, error){
@@ -109,12 +109,19 @@ func main() {
 			}
 			return experiments.RenderFleetShards(rows), nil
 		},
+		"elastic": func(s uint64) (string, error) {
+			res, err := experiments.Elastic(s, *nyms, *hosts)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderElastic(res), nil
+		},
 		"summary": func(s uint64) (string, error) {
 			return summary(s)
 		},
 	}
 
-	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "vault", "fleet", "shards", "summary"}
+	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "vault", "fleet", "shards", "elastic", "summary"}
 	var selected []string
 	if *run == "all" {
 		selected = order

@@ -13,6 +13,7 @@
 //	nymixctl [-seed N] [-anonymizer tor|dissent|incognito|sweet|tor-bridge] demo
 //	nymixctl [-seed N] [-nyms N] fleet     # ramp a fleet of concurrent nyms with supervision
 //	nymixctl [-seed N] [-nyms N] cluster   # shard a fleet across hosts and live-migrate a nym
+//	nymixctl [-seed N] [-nyms N] elastic   # autoscale the pool through a burst, preempt for a VIP, drain to the floor
 //	nymixctl scrub <file.jpg>   # run the SaniVM scrubbing suite on a real file
 package main
 
@@ -24,6 +25,7 @@ import (
 
 	"nymix/internal/cluster"
 	"nymix/internal/core"
+	"nymix/internal/cpusched"
 	"nymix/internal/experiments"
 	"nymix/internal/fleet"
 	"nymix/internal/hypervisor"
@@ -52,6 +54,11 @@ func main() {
 		}
 	case "cluster":
 		if err := clusterDemo(*seed, *nyms); err != nil {
+			fmt.Fprintf(os.Stderr, "nymixctl: %v\n", err)
+			os.Exit(1)
+		}
+	case "elastic":
+		if err := elasticDemo(*seed, *nyms); err != nil {
 			fmt.Fprintf(os.Stderr, "nymixctl: %v\n", err)
 			os.Exit(1)
 		}
@@ -307,6 +314,112 @@ func clusterDemo(seed uint64, n int) error {
 		}
 		say("cluster drained; %d migration(s) total, %.1f MB cross-host wire",
 			c.Migrations(), float64(c.MigrationWireBytes())/(1<<20))
+	})
+	eng.Run()
+	return demoErr
+}
+
+// elasticDemo walks the elastic-pool story on small (2 GiB) hosts so
+// every decision lands in simulated minutes: a burst overflows the
+// one-host floor and the autoscaler grows the pool; a System-class VIP
+// launch hits the saturated ceiling and preemption sacrifices an idle
+// ephemeral nym for it; the wave quiesces and the autoscaler drains
+// the pool back to the floor, migrating the survivors through the
+// vault.
+func elasticDemo(seed uint64, n int) error {
+	// A 2 GiB host holds ~6 density-tuned nymboxes; ceiling is 3 hosts.
+	const perHost, ceiling = 6, 3
+	if n < 8 {
+		n = 8
+	}
+	if n > perHost*ceiling {
+		n = perHost * ceiling
+	}
+	eng := sim.NewEngine(seed)
+	_, world := webworld.BuildDefault(eng)
+	cfg := experiments.ElasticClusterConfig(1, true)
+	cfg.HostConfig = hypervisor.Config{RAMBytes: 2 << 30, CPU: cpusched.Config{Cores: 4, SMTFactor: 1.3}}
+	c, err := cluster.New(eng, world, cfg)
+	if err != nil {
+		return err
+	}
+	say := func(format string, args ...interface{}) {
+		fmt.Printf("[t=%8.1fs] "+format+"\n", append([]interface{}{eng.Now().Seconds()}, args...)...)
+	}
+	var demoErr error
+	eng.Go("elastic-demo", func(p *sim.Proc) {
+		say("pool up: %d host (floor %d, ceiling %d), %.1f GiB admissible",
+			c.ActiveHosts(), 1, ceiling, float64(c.Hosts()[0].Fleet().RAMBudgetBytes())/(1<<30))
+		say("launching a %d-nym burst (system > persistent > ephemeral classes)", n)
+		if err := c.LaunchAll(experiments.ElasticSpecs(n)); err != nil {
+			demoErr = err
+			return
+		}
+		c.AwaitSettled(p)
+		st := c.Snapshot()
+		say("burst admitted: %d running on %d hosts (%d grown), placed %v",
+			st.Running, st.ActiveHosts, st.GrowEvents, st.PerHostRunning)
+		for _, ev := range c.ScaleLog() {
+			say("  autoscaler: %s %s -> %d active hosts", ev.Kind, ev.Host, ev.Active)
+		}
+
+		// A VIP arrival at the ceiling: no host has room, growth is
+		// capped, so the preemptor makes room by killing an idle
+		// ephemeral nym (after its dwell).
+		vip := fleet.Spec{
+			Name:     "vip",
+			Opts:     experiments.FleetNymOptions("vip", 0),
+			Priority: fleet.PrioritySystem,
+		}
+		vip.Opts.Model = core.ModelPersistent
+		vip.Opts.GuardSeed = "vip"
+		say("VIP system-class launch arrives with the pool saturated at the ceiling")
+		if err := c.Launch(vip); err != nil {
+			demoErr = err
+			return
+		}
+		for c.Member("vip") == nil || c.Member("vip").State() != fleet.StateRunning {
+			c.AwaitSettled(p)
+			if m := c.Member("vip"); m != nil && m.State() == fleet.StateFailed {
+				demoErr = fmt.Errorf("vip launch failed: %v", m.LastErr())
+				return
+			}
+		}
+		st = c.Snapshot()
+		say("VIP running on %s: preemption terminated %d ephemeral nym(s) to admit it",
+			c.HostOf("vip").Name(), st.Preempted.Terminated)
+
+		// The wave ends: ephemeral nyms terminate, the pool drains back
+		// to the floor, migrating the persistent survivors via the vault.
+		say("burst quiesces: stopping every ephemeral-class nym")
+		preMoves, preWire := c.Migrations(), c.MigrationWireBytes()
+		var stops []*sim.Future[struct{}]
+		for _, h := range c.Hosts() {
+			h := h
+			for _, m := range h.Fleet().Members() {
+				if m.State() != fleet.StateRunning || m.Priority() != fleet.PriorityEphemeral {
+					continue
+				}
+				name := m.Name()
+				stops = append(stops, eng.Go("stop-"+name, func(sp *sim.Proc) {
+					h.Fleet().Stop(sp, name)
+				}))
+			}
+		}
+		for _, f := range stops {
+			sim.Await(p, f)
+		}
+		c.AwaitSettled(p)
+		st = c.Snapshot()
+		say("drained to the floor: %d active host(s), %d retired; %d drain migration(s), %.1f MB vault wire",
+			st.ActiveHosts, st.RetiredHosts, c.Migrations()-preMoves,
+			float64(c.MigrationWireBytes()-preWire)/(1<<20))
+		for _, h := range c.RetiredHosts() {
+			say("  retired %s: %d VMs, %d reserved bytes (leak-free)",
+				h.Name(), h.Manager().Host().VMCount(), h.Fleet().ReservedBytes())
+		}
+		say("%d persistent/system nyms still running, identities intact across %d total migrations",
+			st.Running, st.Migrations)
 	})
 	eng.Run()
 	return demoErr

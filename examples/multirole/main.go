@@ -4,6 +4,13 @@
 // pregnancy research. She runs three nyms simultaneously, each with
 // the anonymizer that fits its sensitivity, and the ad networks that
 // track her across the web cannot join the roles together.
+//
+// Three concurrent nyms is what one person needs; a shared service
+// hosting many Alices runs the same lifecycle through internal/fleet
+// (admission control, priority classes, restart supervision) and
+// internal/cluster (placement across an elastic host pool, live
+// migration). `nymixctl fleet` and `nymixctl elastic` script those
+// layers.
 package main
 
 import (

@@ -1,6 +1,13 @@
 // Quickstart: the smallest useful Nymix session. Boot the simulated
 // host, start one ephemeral Tor nym, browse a page, inspect the
 // isolation, and terminate with full amnesia.
+//
+// This drives one nym through core.Manager directly. The scale-out
+// layers build on exactly this lifecycle: internal/fleet supervises
+// hundreds of nyms on one host (`nymixctl fleet`), and
+// internal/cluster shards fleets across an elastic pool of hosts with
+// live migration and autoscaling (`nymixctl cluster`, `nymixctl
+// elastic`).
 package main
 
 import (
@@ -54,6 +61,8 @@ func main() {
 		st := mgr.Host().Mem().Stats()
 		fmt.Printf("terminated: %d nyms left, %.0f MB securely erased over the session\n",
 			mgr.RunningNyms(), float64(st.ScrubbedBytes)/(1<<20))
+		fmt.Println("next: `nymixctl fleet` runs hundreds of these under supervision;" +
+			" `nymixctl elastic` autoscales a whole host pool")
 	})
 	eng.Run()
 }

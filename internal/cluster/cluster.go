@@ -1,33 +1,3 @@
-// Package cluster shards nym fleets across a pool of simulated Nymix
-// hosts behind a placement layer — the step from one machine running
-// hundreds of nyms (internal/fleet) toward a production service
-// running millions. The paper's NymBox model binds every nym to the
-// one host the user sits at; a multi-tenant service instead treats a
-// nym's durable identity (its NymVault checkpoint) as the primary
-// object and the host it executes on as a scheduling decision.
-//
-// Three mechanisms do the work:
-//
-//   - Placement. Every host wraps its own hypervisor, Nym Manager,
-//     and fleet orchestrator; all hosts share one simulated Internet
-//     and one cloud-provider set. A pluggable policy places each
-//     launch by consulting per-host admission headroom
-//     (ReservedBytes/RAMBudgetBytes); when every host is saturated
-//     the launch queues cluster-wide in FIFO order and is dispatched
-//     as soon as any host frees capacity.
-//   - Live migration. MigrateNym checkpoints a nym through the
-//     NymVault on its source host, tears the source nymbox down, and
-//     restores the checkpoint on the destination — the same
-//     save-on-A/load-on-B channel a user roaming between machines
-//     would use, so pseudonym identity (disks, cookies, guard,
-//     credentials) survives the move byte-identically. A crash
-//     between the source save and the destination restore is retried
-//     from the last durable checkpoint.
-//   - Rebalancing. A state-driven daemon watches per-host reserved
-//     shares and migrates the coldest persistent nyms off hot hosts
-//     (share above a watermark) toward underloaded ones, so a
-//     pack-first ramp or a skewed teardown converges back to an even
-//     spread without operator action.
 package cluster
 
 import (
@@ -35,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"nymix/internal/cloud"
 	"nymix/internal/core"
 	"nymix/internal/fleet"
 	"nymix/internal/hypervisor"
@@ -73,6 +44,13 @@ type Config struct {
 	// Rebalance configures the hot-host rebalancer (disabled unless
 	// Enabled is set).
 	Rebalance RebalanceConfig
+	// Autoscale configures the elastic pool daemon (disabled unless
+	// Enabled is set).
+	Autoscale AutoscaleConfig
+	// Preempt configures cluster-queue preemption (disabled unless
+	// Enabled is set): a high-priority launch stuck in the cluster-wide
+	// queue sacrifices lower-priority nyms on the cheapest host.
+	Preempt PreemptConfig
 	// VaultPassword seals migration checkpoints (default "cluster-pw").
 	VaultPassword string
 	// DestFor maps a nym name to its vault destination (default: one
@@ -114,18 +92,55 @@ func (c *Config) fillDefaults() {
 		c.ProviderQuota = 2 << 30
 	}
 	c.Rebalance.fillDefaults()
+	c.Autoscale.fillDefaults(c.Hosts)
+	c.Preempt.fillDefaults()
+}
+
+// HostState is a pool member's scheduling state — the autoscaler's
+// shrink path walks a host through Active -> Cordoned -> Draining ->
+// Retired, and only Active hosts receive placements.
+type HostState int
+
+// Host lifecycle states.
+const (
+	HostActive   HostState = iota // taking placements
+	HostCordoned                  // no new placements; existing nyms untouched
+	HostDraining                  // live nyms being migrated off
+	HostRetired                   // empty and removed from the pool
+)
+
+// String implements fmt.Stringer.
+func (s HostState) String() string {
+	switch s {
+	case HostActive:
+		return "active"
+	case HostCordoned:
+		return "cordoned"
+	case HostDraining:
+		return "draining"
+	case HostRetired:
+		return "retired"
+	}
+	return "unknown"
 }
 
 // Host is one machine in the pool: a hypervisor wrapped in its own
 // Nym Manager and fleet orchestrator.
 type Host struct {
-	name string
-	mgr  *core.Manager
-	orch *fleet.Orchestrator
+	name  string
+	mgr   *core.Manager
+	orch  *fleet.Orchestrator
+	state HostState
 }
 
 // Name returns the host's network identity.
 func (h *Host) Name() string { return h.name }
+
+// State returns the host's scheduling state.
+func (h *Host) State() HostState { return h.state }
+
+// placeable reports whether the placement layer may put new nyms here.
+func (h *Host) placeable() bool { return h.state == HostActive }
 
 // Manager returns the host's Nym Manager.
 func (h *Host) Manager() *core.Manager { return h.mgr }
@@ -148,6 +163,7 @@ func (h *Host) ReservedShare() float64 {
 // state as soon as any host has room.
 type pendingLaunch struct {
 	spec fleet.Spec
+	pri  fleet.Priority
 	cp   *fleet.Checkpoint
 }
 
@@ -158,12 +174,25 @@ type Cluster struct {
 	cfg   Config
 	hosts []*Host
 
+	// providers is the shared cloud set every host (including ones the
+	// autoscaler adds later) mounts, so any host can restore any
+	// checkpoint. hostSeq numbers hosts monotonically — a retired
+	// host's name is never reused.
+	providers map[string]*cloud.Provider
+	hostSeq   int
+	retired   []*Host
+
 	// placement maps each launched nym to the host currently
 	// responsible for it; specs remembers launch options so a
-	// migration can rebuild the member elsewhere.
-	placement map[string]*Host
-	specs     map[string]fleet.Spec
+	// migration can rebuild the member elsewhere; launchedAt records
+	// when the cluster accepted each launch, so time-to-admit covers
+	// the cluster-wide queue as well as the host-side pipeline.
+	placement  map[string]*Host
+	specs      map[string]fleet.Spec
+	launchedAt map[string]sim.Time
 
+	// pending is the cluster-wide admission queue, ordered by
+	// descending priority, FIFO among equals.
 	pending    []pendingLaunch
 	peakQueued int
 
@@ -181,6 +210,23 @@ type Cluster struct {
 	migrationWire  int64
 	rebalScheduled bool
 	rebalancing    bool
+
+	// Autoscaler state: the pressure/idle clocks (-1 while clear),
+	// armed dwell timers, in-flight grow/drain work, and the scale
+	// event log the elastic experiment renders.
+	queueSince   sim.Time
+	coldSince    sim.Time
+	growArmed    bool
+	growing      bool
+	shrinkArmed  bool
+	draining     bool
+	growEvents   int
+	shrinkEvents int
+	scaleLog     []ScaleEvent
+
+	// Cluster-queue preemption state, same idiom.
+	preemptArmed bool
+	preempting   bool
 }
 
 // New builds a cluster of cfg.Hosts hosts on the world, sharing one
@@ -194,28 +240,52 @@ func New(eng *sim.Engine, world *webworld.World, cfg Config) (*Cluster, error) {
 		cfg:        cfg,
 		placement:  make(map[string]*Host),
 		specs:      make(map[string]fleet.Spec),
+		launchedAt: make(map[string]sim.Time),
 		migrating:  make(map[string]bool),
 		launchErrs: make(map[string]error),
 		watchers:   sim.NewBroadcast(eng),
+		queueSince: -1,
+		coldSince:  -1,
 	}
-	providers := core.DefaultProviders(world, cfg.ProviderQuota)
+	c.providers = core.DefaultProviders(world, cfg.ProviderQuota)
 	for i := 0; i < cfg.Hosts; i++ {
-		hostCfg := cfg.HostConfig
-		hostCfg.Name = fmt.Sprintf("%s%d", cfg.HostPrefix, i)
-		mgr, err := core.NewManagerWith(eng, world, hostCfg, core.ManagerConfig{
-			Uplink:    cfg.Uplink,
-			Providers: providers,
-		})
-		if err != nil {
+		if _, err := c.addHost(); err != nil {
 			return nil, err
 		}
-		h := &Host{name: hostCfg.Name, mgr: mgr, orch: fleet.New(mgr, cfg.Fleet)}
-		c.hosts = append(c.hosts, h)
-	}
-	for _, h := range c.hosts {
-		c.watchHost(h)
 	}
 	return c, nil
+}
+
+// addHost boots one more machine into the pool: its own hypervisor,
+// Nym Manager, and fleet orchestrator, on the shared Internet and the
+// shared provider set. The autoscaler's grow path calls it at runtime;
+// New calls it for the initial pool.
+func (c *Cluster) addHost() (*Host, error) {
+	hostCfg := c.cfg.HostConfig
+	hostCfg.Name = fmt.Sprintf("%s%d", c.cfg.HostPrefix, c.hostSeq)
+	mgr, err := core.NewManagerWith(c.eng, c.world, hostCfg, core.ManagerConfig{
+		Uplink:    c.cfg.Uplink,
+		Providers: c.providers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fcfg := c.cfg.Fleet
+	// Wire the orchestrator's eviction channel to the cluster's vault
+	// settings, so cluster-driven preemption can vault persistent
+	// victims even when the caller configured nothing fleet-side.
+	if fcfg.Preempt.VaultPassword == "" {
+		fcfg.Preempt.VaultPassword = c.cfg.VaultPassword
+	}
+	if fcfg.Preempt.DestFor == nil {
+		destFor := c.cfg.DestFor
+		fcfg.Preempt.DestFor = func(m *fleet.Member) core.VaultDest { return destFor(m.Name()) }
+	}
+	h := &Host{name: hostCfg.Name, mgr: mgr, orch: fleet.New(mgr, fcfg)}
+	c.hostSeq++
+	c.hosts = append(c.hosts, h)
+	c.watchHost(h)
+	return h, nil
 }
 
 // watchHost runs a daemon that reacts to every state change on one
@@ -234,7 +304,19 @@ func (c *Cluster) watchHost(h *Host) {
 // onChange is the cluster's scheduling pulse.
 func (c *Cluster) onChange() {
 	c.dispatch()
+	// Maintain the pressure clock: queueSince is when the current
+	// episode of cluster-wide queueing began (-1 while the queue is
+	// empty). The grow and preemption dwells both read it.
+	if len(c.pending) > 0 {
+		if c.queueSince < 0 {
+			c.queueSince = c.eng.Now()
+		}
+	} else {
+		c.queueSince = -1
+	}
 	c.maybeScheduleRebalance()
+	c.autoscale()
+	c.schedulePreempt()
 	c.notify()
 }
 
@@ -242,8 +324,34 @@ func (c *Cluster) notify() { c.watchers.Notify() }
 
 func (c *Cluster) parkOnChange(p *sim.Proc) { c.watchers.Park(p) }
 
-// Hosts returns the pool in fixed order.
+// Hosts returns the pool in fixed order (retired hosts excluded).
 func (c *Cluster) Hosts() []*Host { return append([]*Host(nil), c.hosts...) }
+
+// RetiredHosts returns hosts the autoscaler has drained and removed,
+// oldest first.
+func (c *Cluster) RetiredHosts() []*Host { return append([]*Host(nil), c.retired...) }
+
+// ActiveHosts returns how many hosts currently take placements.
+func (c *Cluster) ActiveHosts() int {
+	n := 0
+	for _, h := range c.hosts {
+		if h.placeable() {
+			n++
+		}
+	}
+	return n
+}
+
+// placeableHosts returns the hosts the policy may place on.
+func (c *Cluster) placeableHosts() []*Host {
+	out := make([]*Host, 0, len(c.hosts))
+	for _, h := range c.hosts {
+		if h.placeable() {
+			out = append(out, h)
+		}
+	}
+	return out
+}
 
 // Host returns a pool member by name, or nil.
 func (c *Cluster) Host(name string) *Host {
@@ -312,15 +420,38 @@ func (c *Cluster) Launch(spec fleet.Spec) error {
 		return fmt.Errorf("%w: %q needs %d bytes", ErrNeverPlaceable, spec.Name, fp)
 	}
 	c.specs[spec.Name] = spec
-	if h := c.cfg.Policy.Pick(c.hosts, fp); h != nil {
+	c.launchedAt[spec.Name] = c.eng.Now()
+	if h := c.cfg.Policy.Pick(c.placeableHosts(), fp); h != nil {
 		return c.place(h, spec, nil)
 	}
-	c.enqueue(pendingLaunch{spec: spec})
+	c.enqueue(pendingLaunch{spec: spec, pri: spec.EffectivePriority()})
+	// A queued launch is pressure only the autoscaler or the preemptor
+	// can relieve when no host motion is in flight; evaluate now.
+	c.onChange()
 	return nil
 }
 
+// LaunchedAt returns when the cluster accepted a launch — the zero
+// point for time-to-admit, which includes cluster-wide queueing.
+func (c *Cluster) LaunchedAt(name string) (sim.Time, bool) {
+	t, ok := c.launchedAt[name]
+	return t, ok
+}
+
+// enqueue inserts into the cluster-wide queue in priority order:
+// descending class, FIFO among equals — the same discipline the
+// host-side admission semaphore enforces.
 func (c *Cluster) enqueue(pl pendingLaunch) {
-	c.pending = append(c.pending, pl)
+	at := len(c.pending)
+	for i, x := range c.pending {
+		if x.pri < pl.pri {
+			at = i
+			break
+		}
+	}
+	c.pending = append(c.pending, pendingLaunch{})
+	copy(c.pending[at+1:], c.pending[at:])
+	c.pending[at] = pl
 	if len(c.pending) > c.peakQueued {
 		c.peakQueued = len(c.pending)
 	}
@@ -379,13 +510,13 @@ func (c *Cluster) watchRestored(h *Host, m *fleet.Member) {
 	})
 }
 
-// dispatch drains the cluster-wide queue in FIFO order while the
-// policy can place its head. A launch the chosen host rejects is
+// dispatch drains the cluster-wide queue in priority-FIFO order while
+// the policy can place its head. A launch the chosen host rejects is
 // recorded in launchErrs rather than silently dropped.
 func (c *Cluster) dispatch() {
 	for len(c.pending) > 0 {
 		head := c.pending[0]
-		h := c.cfg.Policy.Pick(c.hosts, head.spec.Opts.Footprint())
+		h := c.cfg.Policy.Pick(c.placeableHosts(), head.spec.Opts.Footprint())
 		if h == nil {
 			return
 		}
@@ -423,18 +554,22 @@ func (c *Cluster) AwaitRunning(p *sim.Proc, target int) error {
 }
 
 // AwaitSettled parks until no launch or teardown is in flight
-// anywhere in the pool and no rebalance pass is running or armed to
-// fire — a caller that reads a snapshot afterwards will not have it
-// invalidated by a migration the rebalancer had already scheduled.
+// anywhere in the pool, no rebalance pass is running or armed to
+// fire, and the autoscaler has no grow or drain in motion — a caller
+// that reads a snapshot afterwards will not have it invalidated by
+// work the daemons had already scheduled.
 func (c *Cluster) AwaitSettled(p *sim.Proc) {
-	for c.anyPending() || c.countState(fleet.StateStopping) > 0 || c.rebalancing || c.rebalScheduled {
+	for c.anyPending() || c.countState(fleet.StateStopping) > 0 ||
+		c.rebalancing || c.rebalScheduled ||
+		c.growing || c.growArmed || c.draining || c.shrinkArmed ||
+		c.preempting || c.preemptArmed {
 		c.parkOnChange(p)
 	}
 }
 
 // anyPending reports whether any launch can still make progress: a
-// cluster-wide queued spec (only meaningful while some host motion
-// could free capacity), or a host-side member mid-flight.
+// host-side member mid-flight, or a cluster-wide queued spec that the
+// autoscaler or the preemptor is still able to act on.
 func (c *Cluster) anyPending() bool {
 	inFlight := false
 	for _, h := range c.hosts {
@@ -451,6 +586,15 @@ func (c *Cluster) anyPending() bool {
 	}
 	if inFlight {
 		return true
+	}
+	if len(c.pending) > 0 {
+		// Nothing is moving host-side, but the queue is still pending
+		// while elastic machinery can act: a grow (armed or
+		// provisioning) will add capacity, a preemption pass will free
+		// some, and a drain in flight re-places what it migrates.
+		if c.growing || c.growArmed || c.preempting || c.preemptArmed || c.draining {
+			return true
+		}
 	}
 	// Only the cluster queue remains: it is pending only if something
 	// could still place its head — and with nothing in flight, nothing
@@ -486,12 +630,17 @@ func (c *Cluster) StopAll(p *sim.Proc) error {
 
 // Stats is a point-in-time cluster snapshot.
 type Stats struct {
-	Hosts              int
+	Hosts              int // pool members (excluding retired)
+	ActiveHosts        int // hosts taking placements
+	RetiredHosts       int // hosts drained and removed by the autoscaler
 	Running            int
 	QueuedClusterWide  int
 	PeakQueued         int
 	Migrations         int
 	MigrationWireBytes int64
+	GrowEvents         int                // hosts the autoscaler added
+	ShrinkEvents       int                // hosts the autoscaler retired
+	Preempted          fleet.PreemptStats // summed over all hosts, retired included
 	PerHostRunning     []int
 	PerHostShare       []float64
 	PeakRAMBytes       int64 // max over hosts
@@ -501,11 +650,15 @@ type Stats struct {
 func (c *Cluster) Snapshot() Stats {
 	st := Stats{
 		Hosts:              len(c.hosts),
+		ActiveHosts:        c.ActiveHosts(),
+		RetiredHosts:       len(c.retired),
 		Running:            c.Running(),
 		QueuedClusterWide:  len(c.pending),
 		PeakQueued:         c.peakQueued,
 		Migrations:         c.migrations,
 		MigrationWireBytes: c.migrationWire,
+		GrowEvents:         c.growEvents,
+		ShrinkEvents:       c.shrinkEvents,
 	}
 	for _, h := range c.hosts {
 		st.PerHostRunning = append(st.PerHostRunning, h.orch.Running())
@@ -513,6 +666,14 @@ func (c *Cluster) Snapshot() Stats {
 		if peak := h.orch.PeakRAMBytes(); peak > st.PeakRAMBytes {
 			st.PeakRAMBytes = peak
 		}
+		pre := h.orch.Preemptions()
+		st.Preempted.Terminated += pre.Terminated
+		st.Preempted.Evicted += pre.Evicted
+	}
+	for _, h := range c.retired {
+		pre := h.orch.Preemptions()
+		st.Preempted.Terminated += pre.Terminated
+		st.Preempted.Evicted += pre.Evicted
 	}
 	return st
 }

@@ -113,7 +113,7 @@ func (c *Cluster) MigrateNym(p *sim.Proc, name, dstHost string) (MigrationReport
 		// download (and the migration count) are accounted when the
 		// re-queued launch lands (watchRestored).
 		c.migrationWire += rep.WireBytes
-		c.enqueue(pendingLaunch{spec: spec, cp: &cp})
+		c.enqueue(pendingLaunch{spec: spec, pri: spec.EffectivePriority(), cp: &cp})
 		return rep, errors.Join(
 			fmt.Errorf("cluster: migrate %q to %s: %w (re-queued from the vault checkpoint)", name, dst.name, cause),
 			stopErr)

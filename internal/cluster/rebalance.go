@@ -56,6 +56,11 @@ func (c *Cluster) planMove() (*fleet.Member, *Host) {
 	var bestDst *Host
 	var bestShare float64
 	for _, h := range c.hosts {
+		// Cordoned and draining hosts belong to the autoscaler's drain
+		// path; the rebalancer must not fight it over their members.
+		if !h.placeable() {
+			continue
+		}
 		share := h.ReservedShare()
 		if share <= c.cfg.Rebalance.HotShare || share <= bestShare {
 			continue
@@ -142,14 +147,24 @@ func (c *Cluster) coldestPersistent(h *Host) *fleet.Member {
 // coldDestination returns the least-loaded host under the cold
 // watermark that can admit the footprint, or nil.
 func (c *Cluster) coldDestination(src *Host, footprint int64) *Host {
+	return c.destinationUnder(src, footprint, c.cfg.Rebalance.ColdShare)
+}
+
+// destinationUnder returns the least-loaded placeable host (excluding
+// src) whose reserved share sits strictly under shareCeiling and that
+// can admit the footprint, or nil. The rebalancer caps the ceiling at
+// its cold watermark (migrating onto a warm host would just move the
+// hot spot); a drain passes a ceiling above 1 — any host with room
+// will do.
+func (c *Cluster) destinationUnder(src *Host, footprint int64, shareCeiling float64) *Host {
 	var best *Host
 	var bestShare float64
 	for _, h := range c.hosts {
-		if h == src || !h.orch.CanAdmit(footprint) {
+		if h == src || !h.placeable() || !h.orch.CanAdmit(footprint) {
 			continue
 		}
 		share := h.ReservedShare()
-		if share >= c.cfg.Rebalance.ColdShare {
+		if share >= shareCeiling {
 			continue
 		}
 		if best == nil || share < bestShare {

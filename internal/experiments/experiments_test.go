@@ -494,3 +494,65 @@ func TestFleetRampUpShape(t *testing.T) {
 			rows[0].TimeToRunning, rows[1].TimeToRunning)
 	}
 }
+
+func TestElasticShape(t *testing.T) {
+	// Small hosts so the pool scales at test size: a 2 GiB host holds
+	// ~6 density-tuned nymboxes, so a 16-nym burst on an initial pool
+	// of one forces two grows, and the quiesce leaves 4 high-priority
+	// nyms to drain back to the floor.
+	res, err := ElasticOn(5, 16, 1, hypervisor.Config{
+		RAMBytes: 2 << 30,
+		CPU:      cpusched.Config{Cores: 4, SMTFactor: 1.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 3 classes x 2 modes", len(res.Rows))
+	}
+	byMode := map[string]map[string]ElasticClassRow{"fixed": {}, "elastic": {}}
+	for _, r := range res.Rows {
+		byMode[r.Mode][r.Class] = r
+	}
+	// The elastic pool admits the entire burst; the fixed pool strands
+	// the ephemeral tail.
+	for class, r := range byMode["elastic"] {
+		if r.Stalled != 0 {
+			t.Errorf("elastic %s: %d launches stalled", class, r.Stalled)
+		}
+	}
+	if res.FixedStalled == 0 {
+		t.Error("fixed pool stranded nothing — the burst never saturated it")
+	}
+	if got := byMode["fixed"]["ephemeral"].Stalled; got != res.FixedStalled {
+		t.Errorf("fixed stalls = %d, want all %d in the ephemeral class", got, res.FixedStalled)
+	}
+	// Priority admission on the fixed pool: the system class always
+	// lands (preemption makes room).
+	if r := byMode["fixed"]["system"]; r.Admitted != r.Launched {
+		t.Errorf("fixed system class admitted %d of %d", r.Admitted, r.Launched)
+	}
+	// Scale-up happened and the drain returned to the floor with
+	// nothing leaked.
+	if res.GrowEvents == 0 {
+		t.Error("no grow events despite a persisted queue")
+	}
+	if res.HostsPeak <= 1 {
+		t.Errorf("hosts peak = %d, want growth past the initial pool", res.HostsPeak)
+	}
+	if res.HostsEnd != res.FloorHosts {
+		t.Errorf("pool ended at %d hosts, want the floor %d", res.HostsEnd, res.FloorHosts)
+	}
+	if res.ShrinkEvents == 0 {
+		t.Error("no shrink events despite the quiesce")
+	}
+	if res.DrainMoves == 0 {
+		t.Error("drain migrated nothing — the retired hosts were already empty")
+	}
+	if res.DrainWireMB <= 0 {
+		t.Error("drain migrations shipped no vault wire")
+	}
+	if res.LeakedBytes != 0 {
+		t.Errorf("drain leaked %d reservation bytes", res.LeakedBytes)
+	}
+}

@@ -1,39 +1,3 @@
-// Package fleet orchestrates large populations of concurrent nyms
-// over a single core.Manager. The paper's Nym Manager supervises
-// nymbox "creation, longevity, and destruction" (section 3) one nym
-// at a time; this layer scales that supervision to hundreds of
-// simultaneous nymboxes — the ROADMAP's production-scale multi-user
-// service — without giving up any of the lifecycle guarantees.
-//
-// Four mechanisms do the work:
-//
-//   - Admission control. Every nymbox is RAM: both VMs' memory and
-//     both RAM-backed writable disks come from the host's physical
-//     stash (section 5.2). Launches reserve their requested footprint
-//     against a configurable headroom share of host RAM and queue —
-//     rather than fail mid-boot with a half-built nymbox — when the
-//     host is oversubscribed. A bounded start gate likewise keeps the
-//     number of concurrent boot+bootstrap pipelines proportional to
-//     the chip, so a 256-nym ramp does not collapse into timeslicing.
-//   - Parallel pipelines. Startup and teardown run as independent
-//     simulated processes fanned out over sim futures, so wall-clock
-//     (simulated) time is bounded by the slowest admitted batch, not
-//     the sum of serial starts.
-//   - KSM pacing. Host capacity is enforced at page-write time,
-//     before the KSM scanner has had a chance to merge identical
-//     base-image pages across VMs. The orchestrator runs a merge
-//     daemon while operations are in flight so a large ramp's
-//     transient private pages are folded back into shared frames
-//     instead of tripping the host's out-of-memory wall.
-//   - Supervision. Each nym fails independently: a failed launch or a
-//     crashed nymbox releases its reservation and is restarted under
-//     the fleet's restart policy, with backoff, until its restart
-//     budget is spent. One bad nym never takes down the ramp.
-//
-// Staggered save sweeps round out the lifecycle: persistent nyms are
-// checkpointed through the NymVault on a fixed stagger with a bounded
-// number of in-flight saves, so a fleet's periodic checkpoints do not
-// thundering-herd the anonymizer or the providers.
 package fleet
 
 import (
@@ -91,6 +55,9 @@ type Config struct {
 	// tick; <0 drains the scan queue (the default).
 	KSMInterval time.Duration
 	KSMBudget   int
+	// Preempt arms the pressure-driven preemption daemon (disabled by
+	// default); see PreemptConfig.
+	Preempt PreemptConfig
 }
 
 func (c *Config) fillDefaults(cores int) {
@@ -115,6 +82,7 @@ func (c *Config) fillDefaults(cores int) {
 	if c.KSMBudget == 0 {
 		c.KSMBudget = -1
 	}
+	c.Preempt.fillDefaults()
 }
 
 func (c *Config) startGateWidth(cores int) int {
@@ -137,8 +105,10 @@ const (
 	StateStopping                      // teardown in progress
 	StateStopped                       // terminated cleanly
 	StateFailed                        // restart budget exhausted
+	StatePreempted                     // terminated/evicted to admit a higher class
 )
 
+// String implements fmt.Stringer.
 func (s MemberState) String() string {
 	switch s {
 	case StateQueued:
@@ -155,20 +125,71 @@ func (s MemberState) String() string {
 		return "stopped"
 	case StateFailed:
 		return "failed"
+	case StatePreempted:
+		return "preempted"
 	}
 	return "unknown"
+}
+
+// Priority is a launch's admission class. Higher classes are admitted
+// first: the admission queue is ordered by descending priority (FIFO
+// among equals), and under sustained pressure the preemption machinery
+// terminates or evicts strictly-lower-priority members to admit a
+// queued higher-priority launch.
+type Priority int
+
+// Admission classes, lowest to highest. The zero value resolves from
+// the nym's usage model (persistent and pre-configured nyms rank above
+// ephemeral ones, whose state is disposable by design); PrioritySystem
+// is reserved for launches that must land even on a saturated host.
+const (
+	PriorityDefault    Priority = iota // resolve from the usage model
+	PriorityEphemeral                  // disposable; first to be preempted
+	PriorityPersistent                 // durable identity; evicted only via the vault
+	PrioritySystem                     // admitted ahead of everything, never preempted
+)
+
+// String implements fmt.Stringer.
+func (pr Priority) String() string {
+	switch pr {
+	case PriorityEphemeral:
+		return "ephemeral"
+	case PriorityPersistent:
+		return "persistent"
+	case PrioritySystem:
+		return "system"
+	}
+	return "default"
 }
 
 // Spec names one nym the fleet should run.
 type Spec struct {
 	Name string
 	Opts core.Options
+	// Priority is the admission class; PriorityDefault resolves from
+	// Opts.Model (persistent/pre-configured -> PriorityPersistent,
+	// ephemeral -> PriorityEphemeral).
+	Priority Priority
+}
+
+// EffectivePriority resolves the spec's admission class, mapping
+// PriorityDefault onto the usage model.
+func (s Spec) EffectivePriority() Priority {
+	if s.Priority != PriorityDefault {
+		return s.Priority
+	}
+	switch s.Opts.Model {
+	case core.ModelPersistent, core.ModelPreconfigured:
+		return PriorityPersistent
+	}
+	return PriorityEphemeral
 }
 
 // Member is one nym under fleet supervision.
 type Member struct {
 	spec      Spec
 	footprint int64
+	pri       Priority
 	state     MemberState
 	nym       *core.Nym
 	restarts  int
@@ -225,6 +246,9 @@ func (m *Member) RunningAt() sim.Time { return m.runningAt }
 // Footprint returns the host RAM the member reserves while admitted.
 func (m *Member) Footprint() int64 { return m.footprint }
 
+// Priority returns the member's resolved admission class.
+func (m *Member) Priority() Priority { return m.pri }
+
 // Checkpoint returns the member's last recorded vault checkpoint.
 func (m *Member) Checkpoint() (Checkpoint, bool) {
 	if m.checkpoint == nil {
@@ -260,6 +284,14 @@ type Orchestrator struct {
 	ops          int
 	ksmScheduled bool
 
+	// Preemption daemon state: the pressure clock (simulated time at
+	// which the current pressure episode began, -1 while clear), the
+	// armed dwell timer, the in-flight pass, and completed counts.
+	pressureSince sim.Time
+	preemptArmed  bool
+	preempting    bool
+	preempted     PreemptStats
+
 	peakRAMBytes int64
 }
 
@@ -279,13 +311,14 @@ func New(mgr *core.Manager, cfg Config) *Orchestrator {
 	}
 	eng := mgr.Engine()
 	return &Orchestrator{
-		mgr:       mgr,
-		eng:       eng,
-		cfg:       cfg,
-		ram:       newSem(eng, budget),
-		startGate: newSem(eng, int64(cfg.startGateWidth(host.CPU().Config().Cores))),
-		members:   make(map[string]*Member),
-		watchers:  sim.NewBroadcast(eng),
+		mgr:           mgr,
+		eng:           eng,
+		cfg:           cfg,
+		ram:           newSem(eng, budget),
+		startGate:     newSem(eng, int64(cfg.startGateWidth(host.CPU().Config().Cores))),
+		members:       make(map[string]*Member),
+		watchers:      sim.NewBroadcast(eng),
+		pressureSince: -1,
 	}
 }
 
@@ -313,7 +346,8 @@ func (o *Orchestrator) HeadroomBytes() int64 { return o.ram.capacity - o.ram.use
 
 // CanAdmit reports whether a launch of the given footprint would be
 // admitted immediately — enough free budget and no earlier launch
-// queued ahead of it (admission is strict FIFO).
+// queued ahead of it (admission is strict priority-FIFO, so an empty
+// queue is the only state in which every class is admitted at once).
 func (o *Orchestrator) CanAdmit(footprint int64) bool {
 	return o.ram.queued() == 0 && footprint <= o.HeadroomBytes()
 }
@@ -359,6 +393,7 @@ func (o *Orchestrator) Launch(spec Spec) (*Member, error) {
 	m := &Member{
 		spec:      spec,
 		footprint: spec.Opts.Footprint(),
+		pri:       spec.EffectivePriority(),
 		state:     StateQueued,
 		queuedAt:  o.eng.Now(),
 	}
@@ -372,7 +407,10 @@ func (o *Orchestrator) Launch(spec Spec) (*Member, error) {
 	}
 	o.members[spec.Name] = m
 	o.order = append(o.order, spec.Name)
-	m.pendingRes = o.ram.reserve(m.footprint)
+	m.pendingRes = o.ram.reservePri(m.footprint, int(m.pri))
+	// A launch that queued is pressure the preemptor may act on; no
+	// state transition fires until admission, so arm it here.
+	o.schedulePreempt()
 	o.superviseLaunch(m, 0)
 	return m, nil
 }
@@ -432,7 +470,7 @@ func (o *Orchestrator) runLaunch(p *sim.Proc, m *Member) {
 			return
 		}
 		if res == nil {
-			res = o.ram.reserve(m.footprint)
+			res = o.ram.reservePri(m.footprint, int(m.pri))
 		}
 		// An already-enqueued reservation must be seen through even if
 		// the member detaches meanwhile: its eventual grant is released
@@ -565,11 +603,16 @@ func (o *Orchestrator) QueueStalled() bool { return o.queueStalled() }
 
 // queueStalled reports that the only pending members are parked in
 // the RAM admission queue and nothing in flight will free or claim
-// capacity: the semaphore admits strictly FIFO, and a queue is only
-// non-empty when its head does not fit the free budget, so without a
-// Starting/Restarting/Stopping member (or a launch proc that has not
-// reached the queue yet) the fleet cannot make progress on its own.
+// capacity: the semaphore admits strictly priority-FIFO, and a queue
+// is only non-empty when its head does not fit the free budget, so
+// without a Starting/Restarting/Stopping member (or a launch proc that
+// has not reached the queue yet) the fleet cannot make progress on its
+// own. An armed or in-flight preemption pass counts as progress: the
+// head's deficit is about to be freed by force.
 func (o *Orchestrator) queueStalled() bool {
+	if o.preemptArmed || o.preempting || o.needsPreempt() {
+		return false
+	}
 	queued := 0
 	for _, name := range o.order {
 		switch o.members[name].state {
@@ -591,7 +634,7 @@ func (o *Orchestrator) maxSimultaneous() int {
 	var fps []int64
 	for _, name := range o.order {
 		m := o.members[name]
-		if m.state == StateFailed || m.state == StateStopped {
+		if m.state == StateFailed || m.state == StateStopped || m.state == StatePreempted {
 			continue
 		}
 		fps = append(fps, m.footprint)
@@ -643,11 +686,13 @@ func (o *Orchestrator) notify() {
 	o.watchers.Notify()
 }
 
-// setState transitions a member, keeps the KSM daemon armed for any
-// page-writing state, and wakes everyone waiting on fleet progress.
+// setState transitions a member, keeps the KSM and preemption daemons
+// armed while they have work, and wakes everyone waiting on fleet
+// progress.
 func (o *Orchestrator) setState(m *Member, s MemberState) {
 	m.state = s
 	o.scheduleKSM()
+	o.schedulePreempt()
 	o.notify()
 }
 

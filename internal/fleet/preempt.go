@@ -1,0 +1,264 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nymix/internal/core"
+	"nymix/internal/sim"
+)
+
+// PreemptConfig tunes the pressure-driven preemption machinery: when a
+// higher-priority launch has been stuck at the head of the admission
+// queue past Dwell, strictly-lower-priority running members are
+// sacrificed to admit it. Ephemeral victims are terminated outright
+// (their state is disposable by design); durable victims (persistent,
+// pre-configured) are first checkpointed through the NymVault and then
+// evicted, so their durable identity survives in the cloud and a later
+// launch can restore it.
+type PreemptConfig struct {
+	// Enabled arms the daemon; a disabled preemptor costs nothing.
+	Enabled bool
+	// Dwell is how long queue pressure must persist before the first
+	// victim dies (default 5s) — a transient blip during a teardown
+	// should not cost a running nym its life.
+	Dwell time.Duration
+	// VaultPassword seals eviction checkpoints. DestFor maps a member
+	// to its vault destination. When either is unset, durable members
+	// are not evictable and only ephemeral nyms are preempted.
+	VaultPassword string
+	DestFor       func(*Member) core.VaultDest
+}
+
+func (c *PreemptConfig) fillDefaults() {
+	if c.Dwell <= 0 {
+		c.Dwell = 5 * time.Second
+	}
+}
+
+// PreemptStats counts completed preemptions.
+type PreemptStats struct {
+	// Terminated is ephemeral members killed outright.
+	Terminated int
+	// Evicted is persistent members vaulted and then stopped.
+	Evicted int
+}
+
+// Total returns all preemptions.
+func (s PreemptStats) Total() int { return s.Terminated + s.Evicted }
+
+// Preemptions returns the orchestrator's preemption counters.
+func (o *Orchestrator) Preemptions() PreemptStats { return o.preempted }
+
+// canEvict reports whether persistent members may be vaulted away.
+func (o *Orchestrator) canEvict() bool {
+	return o.cfg.Preempt.VaultPassword != "" && o.cfg.Preempt.DestFor != nil
+}
+
+// durableModel reports whether a nym's state must survive its nymbox:
+// persistent and pre-configured nyms carry durable identity, so
+// preemption may only evict them through the vault; ephemeral state is
+// disposable by design.
+func durableModel(model core.UsageModel) bool {
+	return model != core.ModelEphemeral
+}
+
+// victims returns the Running members a demand of class pri may
+// sacrifice, cheapest first: lowest priority, then coldest (longest
+// time since last transition to Running — the member least likely to
+// be mid-interaction, the same heuristic the cluster rebalancer uses).
+// Durable members (persistent, pre-configured) are included only when
+// eviction is configured.
+func (o *Orchestrator) victims(pri Priority) []*Member {
+	var out []*Member
+	for _, name := range o.order {
+		m := o.members[name]
+		if m.state != StateRunning || m.nym == nil || m.pri >= pri {
+			continue
+		}
+		if durableModel(m.nym.Model()) && !o.canEvict() {
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].pri != out[j].pri {
+			return out[i].pri < out[j].pri
+		}
+		return out[i].runningAt < out[j].runningAt
+	})
+	return out
+}
+
+// PreemptibleBytes returns how much running footprint members
+// strictly below the given class could free: ephemeral members
+// always, durable ones (persistent, pre-configured) only when
+// eviction (vault password + dest) is configured. A cluster placement
+// layer reads it to decide which host a queued high-priority launch
+// should preempt on.
+func (o *Orchestrator) PreemptibleBytes(pri Priority) int64 {
+	var sum int64
+	for _, m := range o.victims(pri) {
+		sum += m.footprint
+	}
+	return sum
+}
+
+// PreemptOne sacrifices the single cheapest member strictly below the
+// given class (ephemeral before persistent, coldest first) and returns
+// its freed footprint, or 0 when no member is preemptible. Callers
+// that need more than one victim's worth of capacity re-evaluate their
+// demand between kills — a single-victim primitive cannot overkill
+// when the demand is admitted concurrently (the host's own admission
+// queue and a cluster dispatcher both place launches the moment a
+// reservation is released, mid-pass).
+func (o *Orchestrator) PreemptOne(p *sim.Proc, pri Priority) int64 {
+	o.opStarted()
+	defer o.opDone()
+	for {
+		vs := o.victims(pri)
+		if len(vs) == 0 {
+			return 0
+		}
+		if err := o.preemptMember(p, vs[0]); err == nil {
+			return vs[0].footprint
+		}
+		// The victim changed state under us (crashed, stopped); the
+		// next plan excludes it.
+	}
+}
+
+// preemptPass is the host-local daemon's work loop: as long as the
+// admission queue's head outranks coverable victims, sacrifice the
+// cheapest one. The head is re-read after every kill — releasing a
+// victim's reservation admits the head synchronously, so the next
+// round serves the next queued class (or stops).
+func (o *Orchestrator) preemptPass(p *sim.Proc) {
+	for {
+		need, pri, ok := o.ram.head()
+		if !ok {
+			return
+		}
+		deficit := need - o.HeadroomBytes()
+		if deficit <= 0 {
+			return
+		}
+		vs := o.victims(Priority(pri))
+		var coverable int64
+		for _, m := range vs {
+			coverable += m.footprint
+		}
+		if coverable < deficit {
+			return
+		}
+		o.preemptMember(p, vs[0])
+	}
+}
+
+// preemptMember sacrifices one Running member: durable nyms
+// (persistent, pre-configured) are vault-checkpointed first (the
+// eviction half of scale-down — durable identity survives in the
+// cloud), then the nymbox is terminated and the reservation released.
+// The member lands in StatePreempted, a terminal state: preemption
+// must not fight the restart policy over the capacity it just freed.
+// A non-nil return means the member was NOT preempted (it changed
+// state under us, or its eviction save failed); a partial teardown
+// failure does not count — TerminateNym always retires the nym, so
+// the preemption succeeded and the error is recorded on the member.
+func (o *Orchestrator) preemptMember(p *sim.Proc, m *Member) error {
+	if m.state != StateRunning || m.nym == nil {
+		return fmt.Errorf("%w: %q is %v", ErrNotRunning, m.spec.Name, m.state)
+	}
+	durable := durableModel(m.nym.Model())
+	if durable {
+		dest := o.cfg.Preempt.DestFor(m)
+		if _, err := o.mgr.StoreNymVault(p, m.nym, o.cfg.Preempt.VaultPassword, dest); err != nil {
+			// An unsaveable member is not evictable; leave it running.
+			return fmt.Errorf("fleet: evict %q: %w", m.spec.Name, err)
+		}
+		m.checkpoint = &Checkpoint{Password: o.cfg.Preempt.VaultPassword, Dest: dest}
+	}
+	// The checkpoint above yields; the member may have crashed or been
+	// stopped meanwhile.
+	if m.state != StateRunning || m.nym == nil {
+		return fmt.Errorf("%w: %q is %v", ErrNotRunning, m.spec.Name, m.state)
+	}
+	nym := m.nym
+	m.nym = nil
+	o.setState(m, StateStopping)
+	m.lastErr = o.mgr.TerminateNym(p, nym) // best effort; the nym is retired regardless
+	o.ram.release(m.footprint)
+	o.setState(m, StatePreempted)
+	if durable {
+		o.preempted.Evicted++
+	} else {
+		o.preempted.Terminated++
+	}
+	return nil
+}
+
+// needsPreempt reports whether the host-local daemon has work: the
+// admission queue's head outranks some running member whose sacrifice
+// (with others below the head's class) would cover the head's deficit.
+func (o *Orchestrator) needsPreempt() bool {
+	if !o.cfg.Preempt.Enabled {
+		return false
+	}
+	need, pri, ok := o.ram.head()
+	if !ok {
+		return false
+	}
+	deficit := need - o.HeadroomBytes()
+	if deficit <= 0 {
+		return false // the head admits on its own; no one has to die
+	}
+	var preemptible int64
+	for _, m := range o.victims(Priority(pri)) {
+		preemptible += m.footprint
+	}
+	return preemptible >= deficit
+}
+
+// schedulePreempt arms one preemption check Dwell out, the same
+// state-driven idiom as the KSM daemon and the cluster rebalancer: a
+// timer exists only while a pass could help, so a fleet without
+// pressure (or without victims) leaves the event queue empty. The
+// pressure clock (pressureSince) is reset whenever the condition
+// clears, so only *sustained* pressure kills.
+func (o *Orchestrator) schedulePreempt() {
+	if !o.needsPreempt() {
+		o.pressureSince = -1
+		return
+	}
+	if o.pressureSince < 0 {
+		o.pressureSince = o.eng.Now()
+	}
+	if o.preemptArmed || o.preempting {
+		return
+	}
+	o.preemptArmed = true
+	wait := o.pressureSince + o.cfg.Preempt.Dwell - o.eng.Now()
+	o.eng.Schedule(wait, func() {
+		o.preemptArmed = false
+		if o.preempting || !o.needsPreempt() {
+			o.pressureSince = -1
+			o.notify() // waiters watch preemptArmed via queueStalled
+			return
+		}
+		if o.eng.Now()-o.pressureSince < o.cfg.Preempt.Dwell {
+			o.schedulePreempt() // pressure blipped off and back on; re-dwell
+			return
+		}
+		o.preempting = true
+		o.eng.Go("fleet/preempt", func(p *sim.Proc) {
+			o.opStarted()
+			o.preemptPass(p)
+			o.opDone()
+			o.preempting = false
+			o.pressureSince = -1
+			o.notify()
+			o.schedulePreempt() // more queued classes may still need room
+		})
+	})
+}

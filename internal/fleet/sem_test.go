@@ -211,3 +211,76 @@ func TestSemStartGateInteraction(t *testing.T) {
 		}
 	}
 }
+
+// reserveTrackedPri is reserveTracked with an explicit priority class.
+func reserveTrackedPri(eng *sim.Engine, s *sem, id string, need int64, pri int, grants *[]grant) {
+	eng.Go("reserve-"+id, func(p *sim.Proc) {
+		_, err := sim.Await(p, s.reservePri(need, pri))
+		*grants = append(*grants, grant{id: id, at: p.Now(), ok: err == nil})
+	})
+}
+
+// TestSemPriorityOrdering pins the priority-FIFO contract: a
+// higher-priority arrival is admitted ahead of earlier lower-priority
+// waiters, equal priorities keep strict arrival order, and a
+// higher-priority arrival that fits the free budget is admitted
+// immediately even while a too-big lower-priority head is parked.
+func TestSemPriorityOrdering(t *testing.T) {
+	t.Run("higher class jumps the queue", func(t *testing.T) {
+		eng := sim.NewEngine(41)
+		s := newSem(eng, 10)
+		var grants []grant
+		eng.Schedule(0, func() { reserveTrackedPri(eng, s, "low-a", 10, 1, &grants) })
+		eng.Schedule(time.Second, func() { reserveTrackedPri(eng, s, "low-b", 5, 1, &grants) })
+		eng.Schedule(2*time.Second, func() { reserveTrackedPri(eng, s, "high", 5, 3, &grants) })
+		eng.Schedule(3*time.Second, func() { s.release(10) }) // low-a's units return
+		eng.Schedule(4*time.Second, func() { s.release(5) })  // high's units return
+		eng.Run()
+		want := []string{"low-a", "high", "low-b"}
+		if len(grants) != len(want) {
+			t.Fatalf("grants = %+v, want order %v", grants, want)
+		}
+		for i, id := range want {
+			if grants[i].id != id {
+				t.Fatalf("grant order = %+v, want %v", grants, want)
+			}
+		}
+	})
+	t.Run("equal priority stays FIFO", func(t *testing.T) {
+		eng := sim.NewEngine(43)
+		s := newSem(eng, 4)
+		var grants []grant
+		eng.Schedule(0, func() { reserveTrackedPri(eng, s, "a", 4, 2, &grants) })
+		eng.Schedule(time.Second, func() { reserveTrackedPri(eng, s, "b", 2, 2, &grants) })
+		eng.Schedule(time.Second, func() { reserveTrackedPri(eng, s, "c", 2, 2, &grants) })
+		eng.Schedule(2*time.Second, func() { s.release(4) })
+		eng.Run()
+		want := []string{"a", "b", "c"}
+		for i, id := range want {
+			if i >= len(grants) || grants[i].id != id {
+				t.Fatalf("grant order = %+v, want %v", grants, want)
+			}
+		}
+	})
+	t.Run("high-priority arrival admits past a parked big head", func(t *testing.T) {
+		eng := sim.NewEngine(47)
+		s := newSem(eng, 10)
+		var grants []grant
+		eng.Schedule(0, func() { reserveTrackedPri(eng, s, "holder", 6, 1, &grants) })
+		eng.Schedule(time.Second, func() { reserveTrackedPri(eng, s, "big-low", 6, 1, &grants) }) // parks: 6 free < needed? 4 free
+		eng.Schedule(2*time.Second, func() { reserveTrackedPri(eng, s, "high", 4, 3, &grants) })  // fits the 4 free units now
+		eng.Run()
+		want := []string{"holder", "high"}
+		if len(grants) != len(want) {
+			t.Fatalf("grants = %+v, want %v admitted and big-low parked", grants, want)
+		}
+		for i, id := range want {
+			if grants[i].id != id {
+				t.Fatalf("grant order = %+v, want %v", grants, want)
+			}
+		}
+		if s.queued() != 1 {
+			t.Fatalf("queued = %d, want big-low still parked", s.queued())
+		}
+	})
+}
