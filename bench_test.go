@@ -225,6 +225,25 @@ func BenchmarkElastic(b *testing.B) {
 	b.ReportMetric(p95SysAdmit, "s-p95-system-admit")
 }
 
+func BenchmarkSweeps(b *testing.B) {
+	var wireFrac, skipRatio, p95 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SweepSteadyState(uint64(i+1), 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wireFrac = 100 * res.WireFrac
+		skipRatio = res.Scheduled.DirtySkipRatio
+		p95 = res.Scheduled.LatencyP95.Seconds()
+		if res.WireFrac > 0.25 {
+			b.Fatalf("scheduled sweeps shipped %.1f%% of the naive wire; want <= 25%%", 100*res.WireFrac)
+		}
+	}
+	b.ReportMetric(wireFrac, "%wire-vs-naive")
+	b.ReportMetric(skipRatio, "dirty-skip-ratio")
+	b.ReportMetric(p95, "s-p95-sweep")
+}
+
 func BenchmarkFleetRampUp(b *testing.B) {
 	var ramp256, steady256, peakRAM float64
 	for i := 0; i < b.N; i++ {

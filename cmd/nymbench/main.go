@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	nymbench [-seed N] [-run all|fig3|fig4|fig5|fig6|fig7|table1|validation|ablations|vault|fleet|shards|elastic|summary]
+//	nymbench [-seed N] [-run all|fig3|fig4|fig5|fig6|fig7|table1|validation|ablations|vault|fleet|shards|elastic|sweeps|summary]
 //	         [-nyms N] [-hosts N]   # shards sizing (default 1024 over 4); elastic sizing (default 96 over 2)
+//	         [-rounds N]            # sweeps: steady-state rounds (default 8); -nyms sizes the sweep fleet (default 32)
 package main
 
 import (
@@ -18,9 +19,10 @@ import (
 
 func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, vault, fleet, shards, elastic, summary")
-	nyms := flag.Int("nyms", 0, "shards: fleet size (0 = 1024); elastic: burst size (0 = 96)")
+	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, vault, fleet, shards, elastic, sweeps, summary")
+	nyms := flag.Int("nyms", 0, "shards: fleet size (0 = 1024); elastic: burst size (0 = 96); sweeps: fleet size (0 = 32)")
 	hosts := flag.Int("hosts", 0, "shards: pool size (0 = 4); elastic: initial pool (0 = 2)")
+	rounds := flag.Int("rounds", 0, "sweeps: steady-state rounds (0 = 8)")
 	flag.Parse()
 
 	runners := map[string]func(uint64) (string, error){
@@ -116,12 +118,19 @@ func main() {
 			}
 			return experiments.RenderElastic(res), nil
 		},
+		"sweeps": func(s uint64) (string, error) {
+			res, err := experiments.SweepSteadyState(s, *nyms, *rounds)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderSweepSteadyState(res), nil
+		},
 		"summary": func(s uint64) (string, error) {
 			return summary(s)
 		},
 	}
 
-	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "vault", "fleet", "shards", "elastic", "summary"}
+	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "vault", "fleet", "shards", "elastic", "sweeps", "summary"}
 	var selected []string
 	if *run == "all" {
 		selected = order

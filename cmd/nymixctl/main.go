@@ -14,6 +14,7 @@
 //	nymixctl [-seed N] [-nyms N] fleet     # ramp a fleet of concurrent nyms with supervision
 //	nymixctl [-seed N] [-nyms N] cluster   # shard a fleet across hosts and live-migrate a nym
 //	nymixctl [-seed N] [-nyms N] elastic   # autoscale the pool through a burst, preempt for a VIP, drain to the floor
+//	nymixctl [-seed N] [-nyms N] sweeps    # run the checkpoint sweep scheduler; watch incremental sweeps converge
 //	nymixctl scrub <file.jpg>   # run the SaniVM scrubbing suite on a real file
 package main
 
@@ -59,6 +60,11 @@ func main() {
 		}
 	case "elastic":
 		if err := elasticDemo(*seed, *nyms); err != nil {
+			fmt.Fprintf(os.Stderr, "nymixctl: %v\n", err)
+			os.Exit(1)
+		}
+	case "sweeps":
+		if err := sweepsDemo(*seed, *nyms); err != nil {
 			fmt.Fprintf(os.Stderr, "nymixctl: %v\n", err)
 			os.Exit(1)
 		}
@@ -499,6 +505,90 @@ func fleetDemo(seed uint64, n int) error {
 		}
 		say("fleet stopped: %d nyms wiped, host holds %d VMs, %.1f GiB still reserved",
 			o.CountState(fleet.StateStopped), mgr.Host().VMCount(), float64(o.ReservedBytes())/(1<<30))
+	})
+	eng.Run()
+	return demoErr
+}
+
+// sweepsDemo runs the checkpoint sweep scheduler over an
+// all-persistent fleet: a cold full checkpoint, then scheduled sweeps
+// that skip clean nyms — sweeps with no browsing cost nothing, a
+// browsed nym ships only its delta — converging to a small fraction
+// of what saving everything every interval would cost.
+func sweepsDemo(seed uint64, n int) error {
+	if n < 4 {
+		n = 4
+	}
+	const interval = 30 * time.Second
+	eng := sim.NewEngine(seed)
+	_, world := webworld.BuildDefault(eng)
+	mgr, err := core.NewManager(eng, world, experiments.FleetHostConfig())
+	if err != nil {
+		return err
+	}
+	o := fleet.New(mgr, fleet.Config{Restart: fleet.DefaultRestartPolicy()})
+	say := func(format string, args ...interface{}) {
+		fmt.Printf("[t=%8.1fs] "+format+"\n", append([]interface{}{eng.Now().Seconds()}, args...)...)
+	}
+	var demoErr error
+	eng.Go("sweeps-demo", func(p *sim.Proc) {
+		say("launching %d persistent nyms", n)
+		if _, err := o.LaunchAll(experiments.SweepSpecs(n)); err != nil {
+			demoErr = err
+			return
+		}
+		if err := o.AwaitRunning(p, n); err != nil {
+			demoErr = err
+			return
+		}
+		cold, err := o.SaveSweep(p, "fleet-pw", experiments.FleetVaultDest)
+		if err != nil {
+			demoErr = err
+			return
+		}
+		say("cold full checkpoint: %d nyms, %.1f MB shipped", cold.Saves, float64(cold.UploadedBytes)/(1<<20))
+
+		if err := o.StartSweeps(fleet.SweepConfig{
+			Interval: interval, Password: "fleet-pw", DestFor: experiments.FleetVaultDest,
+		}); err != nil {
+			demoErr = err
+			return
+		}
+		say("sweep scheduler started (interval %s, dirty-skip on)", interval)
+		members := o.Members()
+		for round := 0; round < 6; round++ {
+			if round == 2 || round == 4 {
+				m := members[round%n]
+				if _, err := m.Nym().Visit(p, "twitter.com"); err != nil {
+					demoErr = err
+					return
+				}
+				d := m.Nym().DirtyState()
+				say("%s browsed: %d RAM pages and %.1f KB of disk dirtied since its checkpoint",
+					m.Name(), d.RAMPages, float64(d.DiskBytes)/(1<<10))
+			}
+			p.Sleep(interval)
+			recs := o.SweepReport().Records
+			if len(recs) > 0 {
+				r := recs[len(recs)-1]
+				say("sweep %d: %d eligible, %d saved, %d skipped clean (ratio %.2f), %.2f MB wire",
+					len(recs), r.Eligible, r.Saves, r.Skipped, r.DirtySkipRatio(),
+					float64(r.WireBytes())/(1<<20))
+			}
+		}
+		o.StopSweeps()
+		o.AwaitSweepsIdle(p)
+		rep := o.SweepReport()
+		say("scheduler stopped after %d sweeps: %d saves, %d clean skips (ratio %.2f), %.2f MB total wire, sweep p50 %.1fs / p95 %.1fs",
+			rep.Sweeps, rep.Saves, rep.Skips, rep.DirtySkipRatio(),
+			float64(rep.WireBytes())/(1<<20), rep.LatencyP50.Seconds(), rep.LatencyP95.Seconds())
+		say("a save-everything sweep at the same cadence would have checkpointed %d nyms every %s; dirty tracking shipped deltas only",
+			n, interval)
+		if err := o.StopAll(p); err != nil {
+			demoErr = err
+			return
+		}
+		say("fleet stopped")
 	})
 	eng.Run()
 	return demoErr

@@ -48,6 +48,11 @@ type Provider struct {
 	quota    int64 // per-account bytes; 0 = unlimited
 	// Uploads counts lifetime blob puts, for tests and stats.
 	Uploads int
+	// RoundTrips counts lifetime request/response exchanges the
+	// provider served (logins, puts, gets, batches). A checkpoint
+	// sweep that skips a clean nym must not move this counter — the
+	// property the dirty-skip tests pin down.
+	RoundTrips int
 }
 
 // NewProvider attaches a provider to the network at the given router
@@ -121,6 +126,12 @@ type Session struct {
 // loginExchangeBytes covers the TLS handshake and login form.
 const loginExchangeBytes = 96 << 10
 
+// LoginWireBytes is the full wire cost of one session login exchange
+// (request plus the TLS/login response). Exported so sweep telemetry
+// can charge the session setup a checkpoint pays per provider — the
+// cost a dirty-skip avoids entirely for clean nyms.
+const LoginWireBytes = loginExchangeBytes + 4096
+
 // Login authenticates through the anonymizer and returns a session.
 // The paper's workflow: "the Nym Manager navigates the user to the
 // cloud service, using the CommVM's anonymizer to protect this
@@ -131,6 +142,7 @@ func Login(p *sim.Proc, anon anonnet.Anonymizer, pr *Provider, user, password st
 	}); err != nil {
 		return nil, fmt.Errorf("cloud: login exchange: %w", err)
 	}
+	pr.RoundTrips++
 	acct, err := pr.auth(user, password)
 	if err != nil {
 		return nil, err
@@ -161,6 +173,7 @@ func (s *Session) Put(p *sim.Proc, name string, blob Blob) error {
 	}); err != nil {
 		return fmt.Errorf("cloud: upload: %w", err)
 	}
+	s.provider.RoundTrips++
 	if old, ok := s.acct.blobs[name]; ok {
 		s.acct.used -= old.WireSize
 	}
@@ -212,6 +225,7 @@ func (s *Session) PutBatch(p *sim.Proc, blobs map[string]Blob) error {
 	}); err != nil {
 		return fmt.Errorf("cloud: batch upload: %w", err)
 	}
+	s.provider.RoundTrips++
 	for name, b := range blobs {
 		if old, ok := s.acct.blobs[name]; ok {
 			s.acct.used -= old.WireSize
@@ -245,6 +259,7 @@ func (s *Session) GetBatch(p *sim.Proc, names []string) (map[string]Blob, error)
 	}); err != nil {
 		return nil, fmt.Errorf("cloud: batch download: %w", err)
 	}
+	s.provider.RoundTrips++
 	out := make(map[string]Blob, len(names))
 	for _, name := range names {
 		b := s.acct.blobs[name]
@@ -274,6 +289,7 @@ func (s *Session) Get(p *sim.Proc, name string) (Blob, error) {
 	}); err != nil {
 		return Blob{}, fmt.Errorf("cloud: download: %w", err)
 	}
+	s.provider.RoundTrips++
 	blob.Data = append([]byte(nil), blob.Data...)
 	return blob, nil
 }

@@ -227,6 +227,17 @@ type Cluster struct {
 	// Cluster-queue preemption state, same idiom.
 	preemptArmed bool
 	preempting   bool
+
+	// Sweep coordinator state (sweep.go): installed config (nil while
+	// stopped), the round timer, completed round count, provider
+	// tokens currently held, in-flight slot passes, and the slot log.
+	sweepCfg           *SweepConfig
+	sweepTimer         *sim.Timer
+	sweepRounds        int
+	sweepRoundsSkipped int
+	sweepTokensHeld    int
+	sweepInFlight      int
+	slotLog            []SweepSlot
 }
 
 // New builds a cluster of cfg.Hosts hosts on the world, sharing one

@@ -42,9 +42,20 @@
 //     classes on the cheapest host (fleet.PreemptOne: ephemeral nyms
 //     terminated, persistent ones vaulted and evicted), so System
 //     work lands in seconds while a new host is still provisioning.
+//   - Coordinated sweeps. StartSweeps runs the cluster-wide
+//     checkpoint coordinator: each round assigns every host one
+//     stagger slot (Interval/N apart) and a token gate bounds how
+//     many hosts may be on the shared providers at once, so N
+//     per-host schedulers never herd the providers simultaneously.
+//     Hosts out of Active duty are paused — the drain path
+//     checkpoints their nyms itself — and a per-slot log plus
+//     ClusterSweepReport surface wire bytes, dirty-skip ratio, and
+//     sweep latency percentiles pool-wide.
 //
 // Every daemon is armed state-driven, the same idiom as the fleet's
 // KSM pacing: timers exist only while a pass could help, so a
 // balanced, idle, or floor-sized cluster leaves the event queue empty
-// and the engine drainable.
+// and the engine drainable. The sweep coordinator is the deliberate
+// exception — periodic checkpointing is open-ended work, so its
+// lifetime belongs to the caller via StartSweeps/StopSweeps.
 package cluster

@@ -1,0 +1,271 @@
+package cluster
+
+// The cluster-wide sweep coordinator. Every host runs the same
+// checkpoint workload against the same shared cloud providers, so N
+// independent per-host sweep schedulers firing on the same interval
+// would herd all N hosts onto the providers at once — exactly the
+// thundering-herd the ROADMAP's cluster-aware-sweeps item forbids.
+// The coordinator owns the cadence instead: each round, every pool
+// host is assigned one stagger slot (an Interval/N offset from the
+// round start), and a token gate bounds how many hosts may be on the
+// providers simultaneously no matter how far a slow sweep overruns
+// its slot. Hosts that are Cordoned, Draining, or Retired at their
+// slot are paused — a draining host's nyms are being checkpointed by
+// the migration path already, and sweeping them here would only burn
+// wire on state the drain is about to save again.
+
+import (
+	"errors"
+	"time"
+
+	"nymix/internal/core"
+	"nymix/internal/fleet"
+	"nymix/internal/sim"
+)
+
+// ErrSweepsRunning is returned by StartSweeps when a coordinator is
+// already installed.
+var ErrSweepsRunning = errors.New("cluster: sweep coordinator already running")
+
+// SweepConfig parameterizes the cluster sweep coordinator. Zero
+// values take defaults.
+type SweepConfig struct {
+	// Interval is one full stagger round: every pool host gets one
+	// slot per round, Interval/hosts apart (default 30s).
+	Interval time.Duration
+	// Tokens bounds how many hosts may sweep the shared providers
+	// concurrently (default 1). Slots stagger sweep *starts*; the
+	// token gate is the hard cap that holds even when a sweep
+	// overruns its slot.
+	Tokens int
+	// Stagger and Concurrency tune each host's pass (fleet defaults).
+	Stagger     time.Duration
+	Concurrency int
+	// SaveAll disables dirty-skip on every host (the naive mode).
+	SaveAll bool
+	// Password seals checkpoints (default: the cluster's
+	// VaultPassword). DestFor maps nym names to vault destinations
+	// (default: the cluster's DestFor).
+	Password string
+	DestFor  func(name string) core.VaultDest
+}
+
+func (sc *SweepConfig) fillDefaults(c *Config) {
+	if sc.Interval <= 0 {
+		sc.Interval = 30 * time.Second
+	}
+	if sc.Tokens <= 0 {
+		sc.Tokens = 1
+	}
+	if sc.Password == "" {
+		sc.Password = c.VaultPassword
+	}
+	if sc.DestFor == nil {
+		sc.DestFor = c.DestFor
+	}
+}
+
+// SweepSlot records one host's stagger slot in one coordinator round:
+// when the host held the provider token and what its pass did. Paused
+// slots (host not Active at slot time) hold no token and save
+// nothing.
+type SweepSlot struct {
+	Round int
+	Slot  int
+	Host  string
+	// Start/End bracket the token hold — the window in which this
+	// host was on the shared providers. The coordinator's invariant
+	// is that at most Tokens of these windows ever overlap.
+	Start, End sim.Time
+	Paused     bool
+	Record     fleet.SweepRecord
+}
+
+// ClusterSweepReport aggregates coordinator telemetry across rounds
+// and hosts.
+type ClusterSweepReport struct {
+	Rounds int
+	// RoundsSkipped counts ticks the coordinator sat out because the
+	// previous round's slots were still draining through the token
+	// gate — sustained skipping means the interval is shorter than
+	// the pool's serialized sweep time.
+	RoundsSkipped int
+	HostSweeps    int // completed per-host passes
+	Paused        int // slots skipped on non-Active hosts
+	Eligible      int
+	Saves         int
+	Skips         int
+	// Busy counts members a pass left to another save already in
+	// flight (a migration checkpoint, an eviction): counted eligible
+	// but neither saved nor skipped-clean, so Saves+Skips+Busy+Errors
+	// accounts for Eligible pool-wide.
+	Busy   int
+	Errors int
+	// UploadedBytes/LoginBytes/BaselineBytes sum over host passes.
+	UploadedBytes int64
+	LoginBytes    int64
+	BaselineBytes int64
+	// LatencyP50/P95 are nearest-rank percentiles over per-host pass
+	// latencies.
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+	Slots      []SweepSlot
+}
+
+// WireBytes is the total checkpoint wire across the pool.
+func (r ClusterSweepReport) WireBytes() int64 { return r.UploadedBytes + r.LoginBytes }
+
+// DirtySkipRatio is the pool-wide fraction of eligible member-passes
+// skipped as clean.
+func (r ClusterSweepReport) DirtySkipRatio() float64 {
+	if r.Eligible == 0 {
+		return 0
+	}
+	return float64(r.Skips) / float64(r.Eligible)
+}
+
+// StartSweeps installs the coordinator: the first round begins one
+// Interval from now and rounds repeat until StopSweeps. Each round
+// snapshots the pool and assigns slots in pool order, so hosts the
+// autoscaler adds join the stagger on the next round.
+func (c *Cluster) StartSweeps(cfg SweepConfig) error {
+	if c.sweepCfg != nil {
+		return ErrSweepsRunning
+	}
+	cfg.fillDefaults(&c.cfg)
+	c.sweepCfg = &cfg
+	c.sweepTimer = c.eng.Schedule(cfg.Interval, c.sweepRoundTick)
+	return nil
+}
+
+// StopSweeps uninstalls the coordinator. Slot passes already in
+// flight complete; no further round is scheduled.
+func (c *Cluster) StopSweeps() {
+	if c.sweepTimer != nil {
+		c.sweepTimer.Cancel()
+		c.sweepTimer = nil
+	}
+	c.sweepCfg = nil
+}
+
+// AwaitSweepsIdle parks the caller until no slot pass is in flight.
+func (c *Cluster) AwaitSweepsIdle(p *sim.Proc) {
+	for c.sweepInFlight > 0 {
+		c.parkOnChange(p)
+	}
+}
+
+// SweepSlots returns the coordinator's slot log in completion order.
+func (c *Cluster) SweepSlots() []SweepSlot {
+	return append([]SweepSlot(nil), c.slotLog...)
+}
+
+// SweepReport aggregates the slot log.
+func (c *Cluster) SweepReport() ClusterSweepReport {
+	rep := ClusterSweepReport{
+		Rounds:        c.sweepRounds,
+		RoundsSkipped: c.sweepRoundsSkipped,
+		Slots:         c.SweepSlots(),
+	}
+	var lats []time.Duration
+	for _, s := range c.slotLog {
+		if s.Paused {
+			rep.Paused++
+			continue
+		}
+		rep.HostSweeps++
+		rep.Eligible += s.Record.Eligible
+		rep.Saves += s.Record.Saves
+		rep.Skips += s.Record.Skipped
+		rep.Busy += s.Record.Busy
+		rep.Errors += s.Record.Errors
+		rep.UploadedBytes += s.Record.UploadedBytes
+		rep.LoginBytes += s.Record.LoginBytes
+		rep.BaselineBytes += s.Record.BaselineBytes
+		lats = append(lats, s.Record.Elapsed)
+	}
+	rep.LatencyP50 = fleet.LatencyPercentile(lats, 0.50)
+	rep.LatencyP95 = fleet.LatencyPercentile(lats, 0.95)
+	return rep
+}
+
+// sweepRoundTick launches one coordinator round and re-arms the next.
+func (c *Cluster) sweepRoundTick() {
+	cfg := c.sweepCfg
+	if cfg == nil {
+		return
+	}
+	if c.sweepInFlight > 0 {
+		// The previous round's slots are still draining through the
+		// token gate. Spawning another round on top would grow the
+		// backlog without bound and re-save hosts back-to-back; skip
+		// this round and try again next Interval (the same overrun
+		// guard the fleet scheduler applies to its ticks).
+		c.sweepRoundsSkipped++
+		c.sweepTimer = c.eng.Schedule(cfg.Interval, c.sweepRoundTick)
+		return
+	}
+	round := c.sweepRounds
+	c.sweepRounds++
+	hosts := append([]*Host(nil), c.hosts...)
+	if len(hosts) > 0 {
+		gap := cfg.Interval / time.Duration(len(hosts))
+		for i, h := range hosts {
+			i, h := i, h
+			c.sweepInFlight++
+			c.eng.Go("cluster/sweep-"+h.name, func(p *sim.Proc) {
+				defer func() {
+					c.sweepInFlight--
+					c.notify()
+				}()
+				p.Sleep(time.Duration(i) * gap)
+				c.sweepSlot(p, cfg, round, i, h)
+			})
+		}
+	}
+	c.sweepTimer = c.eng.Schedule(cfg.Interval, c.sweepRoundTick)
+}
+
+// sweepSlot runs one host's slot: pause if the host left Active duty
+// (its nyms are being drained through the migration path, which
+// checkpoints them itself), otherwise take a provider token and run
+// the host's dirty-skipping pass.
+func (c *Cluster) sweepSlot(p *sim.Proc, cfg *SweepConfig, round, slot int, h *Host) {
+	if !h.placeable() {
+		c.slotLog = append(c.slotLog, SweepSlot{
+			Round: round, Slot: slot, Host: h.name,
+			Start: p.Now(), End: p.Now(), Paused: true,
+		})
+		return
+	}
+	for c.sweepTokensHeld >= cfg.Tokens {
+		c.parkOnChange(p)
+	}
+	// The token wait yields; the host may have been cordoned or put
+	// into a drain while this slot was parked. Sweeping it now would
+	// race the drain's own checkpoints, so re-check and pause instead.
+	if !h.placeable() {
+		c.slotLog = append(c.slotLog, SweepSlot{
+			Round: round, Slot: slot, Host: h.name,
+			Start: p.Now(), End: p.Now(), Paused: true,
+		})
+		c.notify()
+		return
+	}
+	c.sweepTokensHeld++
+	start := p.Now()
+	destFor := cfg.DestFor
+	rec, _ := h.orch.SweepOnce(p, fleet.SweepConfig{
+		Password:    cfg.Password,
+		DestFor:     func(m *fleet.Member) core.VaultDest { return destFor(m.Name()) },
+		Stagger:     cfg.Stagger,
+		Concurrency: cfg.Concurrency,
+		SaveAll:     cfg.SaveAll,
+	})
+	c.sweepTokensHeld--
+	c.slotLog = append(c.slotLog, SweepSlot{
+		Round: round, Slot: slot, Host: h.name,
+		Start: start, End: p.Now(), Record: rec,
+	})
+	c.notify()
+}

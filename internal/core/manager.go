@@ -254,7 +254,14 @@ type Nym struct {
 	// restore carries the vault download stats when this nym was
 	// restored through LoadNymVault; zero for fresh or monolithic
 	// starts. Cluster migration sums it into cross-host wire cost.
-	restore    vault.LoadStats
+	restore vault.LoadStats
+	// markAnon/markComm snapshot both VMs' dirty counters at the last
+	// successful checkpoint (or vault restore): the nym is clean — its
+	// checkpointable state unchanged — while the current counters
+	// still equal the marks. A fresh nym's zero marks always compare
+	// dirty, because booting itself dirties pages.
+	markAnon   vm.DirtyStats
+	markComm   vm.DirtyStats
 	terminated bool
 	buddiesMon *buddies.Monitor // optional intersection-attack guard (section 7)
 }
@@ -286,6 +293,55 @@ func (n *Nym) Cycles() int { return n.cycles }
 // RestoreStats returns the vault download stats of the restore that
 // produced this nym (zero unless it came through LoadNymVault).
 func (n *Nym) RestoreStats() vault.LoadStats { return n.restore }
+
+// DirtyState reports a nym's mutation state relative to its last
+// recorded checkpoint — what a checkpoint scheduler reads to decide
+// whether saving this nym would ship anything new.
+type DirtyState struct {
+	// Dirty is true when any state-mutating write happened since the
+	// last checkpoint (or restore). A never-checkpointed nym is
+	// always dirty: its boot alone mutated state.
+	Dirty bool
+	// Gen is the combined mutation generation of both VMs.
+	Gen uint64
+	// RAMPages counts unique RAM pages dirtied since the checkpoint.
+	RAMPages int64
+	// DiskBytes counts writable-disk bytes churned since the
+	// checkpoint — the portion of the dirt a vault save would
+	// actually re-chunk.
+	DiskBytes int64
+}
+
+// DirtyState returns the nym's dirt relative to its last checkpoint.
+func (n *Nym) DirtyState() DirtyState {
+	a, c := n.anonVM.DirtyStats(), n.commVM.DirtyStats()
+	return DirtyState{
+		Dirty:     a.Gen != n.markAnon.Gen || c.Gen != n.markComm.Gen,
+		Gen:       a.Gen + c.Gen,
+		RAMPages:  (a.RAMPages - n.markAnon.RAMPages) + (c.RAMPages - n.markComm.RAMPages),
+		DiskBytes: (a.DiskBytes - n.markAnon.DiskBytes) + (c.DiskBytes - n.markComm.DiskBytes),
+	}
+}
+
+// StateDirty reports whether the nym mutated since its last
+// checkpoint. Clean nyms are safe for a checkpoint sweep to skip:
+// their last save already holds everything a restore would need.
+func (n *Nym) StateDirty() bool { return n.DirtyState().Dirty }
+
+// CheckpointGen returns the nym's checkpoint generation: how many
+// state checkpoints have been recorded over its lifetime. It is the
+// save-cycle counter (Cycles) under its scheduling-domain name — the
+// counter persists inside the sealed state, so the generation is
+// monotonic per nym even across crash-restores and cross-host
+// migrations through the vault.
+func (n *Nym) CheckpointGen() int { return n.Cycles() }
+
+// markClean records the given VM dirty snapshots as the nym's
+// checkpoint baseline. Callers snapshot the counters at export time,
+// so mutations racing the (yielding) upload stay dirty.
+func (n *Nym) markClean(anon, comm vm.DirtyStats) {
+	n.markAnon, n.markComm = anon, comm
+}
 
 // StartNym creates, wires, and boots a fresh nymbox, then bootstraps
 // its anonymizer. It blocks the calling process for the full startup.

@@ -128,6 +128,10 @@ func (m *Manager) StoreNym(p *sim.Proc, n *Nym, password string, dest StoreDest)
 	if err != nil {
 		return 0, err
 	}
+	// Snapshot dirt now: the export above is what this checkpoint
+	// contains, so anything dirtied while the (yielding) seal and
+	// upload below run must still read dirty afterwards.
+	dirtyAnon, dirtyComm := n.anonVM.DirtyStats(), n.commVM.DirtyStats()
 	st.Cycles = n.cycles + 1
 	arch, err := m.sealArchive(p, st, password)
 	if err != nil {
@@ -140,6 +144,7 @@ func (m *Manager) StoreNym(p *sim.Proc, n *Nym, password string, dest StoreDest)
 		}
 		m.localStore[archiveBlobName(n.name)] = data
 		n.cycles++
+		n.markClean(dirtyAnon, dirtyComm)
 		return arch.WireSize, nil
 	}
 	pr, err := m.Provider(dest.Provider)
@@ -161,6 +166,7 @@ func (m *Manager) StoreNym(p *sim.Proc, n *Nym, password string, dest StoreDest)
 		return 0, err
 	}
 	n.cycles++
+	n.markClean(dirtyAnon, dirtyComm)
 	return arch.WireSize, nil
 }
 
@@ -309,6 +315,11 @@ func (m *Manager) StoreNymVault(p *sim.Proc, n *Nym, password string, dest Vault
 	if err != nil {
 		return vault.SaveStats{}, err
 	}
+	// Snapshot dirt at export: this is the state the checkpoint will
+	// hold, so the clean mark commits exactly this much — mutations
+	// racing the upload (the save yields for CPU and wire) read dirty
+	// against it afterwards, never silently absorbed.
+	dirtyAnon, dirtyComm := n.anonVM.DirtyStats(), n.commVM.DirtyStats()
 	st.Cycles = n.cycles + 1
 	// The chunker (like the monolithic compressor) chews through the
 	// full logical state; dedup saves wire and crypto, not compression.
@@ -336,6 +347,7 @@ func (m *Manager) StoreNymVault(p *sim.Proc, n *Nym, password string, dest Vault
 	}
 	stats.BaselineWireBytes = base
 	n.cycles++
+	n.markClean(dirtyAnon, dirtyComm)
 	return stats, nil
 }
 
@@ -381,6 +393,11 @@ func (m *Manager) LoadNymVault(p *sim.Proc, name, password string, opts Options,
 		return nil, err
 	}
 	n.restore = stats
+	// The nym's state is byte-identical to the checkpoint it was just
+	// rebuilt from, so it starts clean: the first scheduled sweep after
+	// a restore (or migration) skips it instead of re-uploading a
+	// checkpoint the vault already holds.
+	n.markClean(n.anonVM.DirtyStats(), n.commVM.DirtyStats())
 	return n, nil
 }
 

@@ -306,3 +306,66 @@ func TestExportStateResumesVMsOnError(t *testing.T) {
 		}
 	})
 }
+
+// TestDirtyMarksFollowCheckpointLifecycle: a fresh nym is dirty,
+// StoreNymVault cleans it, browsing re-dirties it, and a nym restored
+// from the vault starts clean — its state is byte-identical to the
+// checkpoint it was rebuilt from.
+func TestDirtyMarksFollowCheckpointLifecycle(t *testing.T) {
+	eng, m := newManager(t)
+	dest := vaultDest()
+	run(t, eng, func(p *sim.Proc) {
+		nym, err := m.StartNym(p, "dirty-nym", Options{Model: ModelPersistent})
+		if err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		if !nym.StateDirty() {
+			t.Error("fresh nym reads clean; its boot alone mutated state")
+		}
+		if _, err := m.StoreNymVault(p, nym, "pw", dest); err != nil {
+			t.Errorf("store: %v", err)
+			return
+		}
+		if nym.StateDirty() {
+			t.Errorf("nym dirty right after its checkpoint: %+v", nym.DirtyState())
+		}
+		gen := nym.CheckpointGen()
+		if _, err := nym.Visit(p, "twitter.com"); err != nil {
+			t.Errorf("visit: %v", err)
+			return
+		}
+		d := nym.DirtyState()
+		if !d.Dirty || d.RAMPages <= 0 || d.DiskBytes <= 0 {
+			t.Errorf("browsing left no dirt: %+v", d)
+		}
+		if _, err := m.StoreNymVault(p, nym, "pw", dest); err != nil {
+			t.Errorf("second store: %v", err)
+			return
+		}
+		if nym.StateDirty() {
+			t.Error("nym dirty after its delta checkpoint")
+		}
+		if got := nym.CheckpointGen(); got != gen+1 {
+			t.Errorf("checkpoint generation = %d, want %d", got, gen+1)
+		}
+		if err := m.TerminateNym(p, nym); err != nil {
+			t.Errorf("terminate: %v", err)
+			return
+		}
+		restored, err := m.LoadNymVault(p, "dirty-nym", "pw", Options{Model: ModelPersistent}, dest)
+		if err != nil {
+			t.Errorf("load: %v", err)
+			return
+		}
+		if restored.StateDirty() {
+			t.Errorf("restored nym dirty: %+v — its state equals the checkpoint it came from", restored.DirtyState())
+		}
+		if got := restored.CheckpointGen(); got != gen+1 {
+			t.Errorf("restored checkpoint generation = %d, want %d (persisted in the manifest)", got, gen+1)
+		}
+		if err := m.TerminateNym(p, restored); err != nil {
+			t.Errorf("terminate restored: %v", err)
+		}
+	})
+}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"nymix/internal/cluster"
@@ -324,28 +323,11 @@ func elasticClassRows(mode string, stats map[string]*memberStat) []ElasticClassR
 		if row == nil {
 			continue
 		}
-		row.P50 = percentile(waits[class], 0.50)
-		row.P95 = percentile(waits[class], 0.95)
+		row.P50 = fleet.LatencyPercentile(waits[class], 0.50)
+		row.P95 = fleet.LatencyPercentile(waits[class], 0.95)
 		out = append(out, *row)
 	}
 	return out
-}
-
-// percentile returns the q-quantile (nearest-rank) of ds, or 0.
-func percentile(ds []time.Duration, q float64) time.Duration {
-	if len(ds) == 0 {
-		return 0
-	}
-	sorted := append([]time.Duration(nil), ds...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(q*float64(len(sorted))+0.5) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
 }
 
 // RenderElastic prints the experiment.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -554,5 +555,65 @@ func TestElasticShape(t *testing.T) {
 	}
 	if res.LeakedBytes != 0 {
 		t.Errorf("drain leaked %d reservation bytes", res.LeakedBytes)
+	}
+}
+
+// TestFleetRampUpDeterministic is the determinism regression for the
+// fleet stack: two runs of the ramp experiment from the same seed
+// must produce byte-identical stats structs — any map-iteration or
+// scheduling nondeterminism in the fleet/vault/cloud layers shows up
+// here as a diff.
+func TestFleetRampUpDeterministic(t *testing.T) {
+	a, err := FleetRampUp(77, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FleetRampUp(77, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprintf("%#v", a), fmt.Sprintf("%#v", b); got != want {
+		t.Fatalf("same seed diverged:\nrun A: %s\nrun B: %s", want, got)
+	}
+	// Distinct seeds must actually move the measurements.
+	c, err := FleetRampUp(78, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%#v", a) == fmt.Sprintf("%#v", c) {
+		t.Fatal("different seeds produced identical fleet ramps — jitter is dead")
+	}
+}
+
+// TestSweepSteadyStateShape sanity-checks the sweep experiment at a
+// small size: the scheduled mode must skip most member-passes, ship
+// strictly less wire than the naive mode, and report coherent latency
+// percentiles.
+func TestSweepSteadyStateShape(t *testing.T) {
+	res, err := SweepSteadyState(5, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduled.Sweeps == 0 || res.Naive.Sweeps == 0 {
+		t.Fatalf("no sweeps completed: %+v", res)
+	}
+	if res.Scheduled.DirtySkipRatio < 0.8 {
+		t.Errorf("dirty-skip ratio = %.3f, want > 0.8 on a mostly idle fleet", res.Scheduled.DirtySkipRatio)
+	}
+	if res.Naive.DirtySkipRatio != 0 {
+		t.Errorf("naive mode skipped members: ratio %.3f", res.Naive.DirtySkipRatio)
+	}
+	if res.Scheduled.WireMB >= res.Naive.WireMB {
+		t.Errorf("scheduled wire %.2f MB not below naive %.2f MB", res.Scheduled.WireMB, res.Naive.WireMB)
+	}
+	if res.WireFrac <= 0 || res.WireFrac >= 1 {
+		t.Errorf("wire frac = %.3f, want in (0,1)", res.WireFrac)
+	}
+	if res.Naive.LatencyP95 < res.Naive.LatencyP50 || res.Naive.LatencyP50 <= 0 {
+		t.Errorf("incoherent naive latency percentiles: p50=%v p95=%v", res.Naive.LatencyP50, res.Naive.LatencyP95)
+	}
+	out := RenderSweepSteadyState(res)
+	if !strings.Contains(out, "skip-ratio") || !strings.Contains(out, "% of the naive wire") {
+		t.Errorf("render missing headline fields:\n%s", out)
 	}
 }

@@ -38,8 +38,18 @@
 //     the fleet's restart policy, with backoff, until its restart
 //     budget is spent. One bad nym never takes down the ramp.
 //
-// Staggered save sweeps round out the lifecycle: persistent nyms are
-// checkpointed through the NymVault on a fixed stagger with a bounded
-// number of in-flight saves, so a fleet's periodic checkpoints do not
-// thundering-herd the anonymizer or the providers.
+// Checkpointing rounds out the lifecycle. SaveSweep is the
+// caller-driven full checkpoint: every Running persistent nym is
+// saved through the NymVault on a fixed stagger with a bounded number
+// of in-flight saves, so a fleet-wide checkpoint does not
+// thundering-herd the anonymizer or the providers. StartSweeps
+// installs the periodic scheduler on top: it fires on an interval,
+// reads each nym's dirty state (plumbed up from internal/vm through
+// core.Nym), skips clean members entirely — no upload, no login, no
+// provider round trip — and backs off exponentially while the
+// orchestrator is under admission pressure or preempting. Per-pass
+// SweepRecords aggregate into a SweepReport (wire bytes, dirty-skip
+// ratio, p50/p95 sweep latency), and a per-member saving guard makes
+// the scheduler, SaveSweep, CheckpointNym, and preemption eviction
+// mutually exclusive per nym, so no nym is ever double-checkpointed.
 package fleet

@@ -204,6 +204,18 @@ type Member struct {
 	// the member has been handed off (migrated to another host) and
 	// must not be restarted here.
 	detached bool
+	// saving, while non-nil, identifies the vault checkpoint currently
+	// in flight for this member. It is the per-nym mutual exclusion
+	// between the sweep scheduler, a caller-driven SaveSweep, a
+	// migration's CheckpointNym, and preemption eviction: whichever
+	// claims the member first saves it; everyone else skips or waits.
+	// The claim is a unique token, not a bool, so a holder can only
+	// release its own claim — a stale release path (a sweep's await
+	// loop draining after a waiter already re-claimed the member) must
+	// not clobber the next holder's exclusion. Without this two
+	// concurrent saves would race their exportState pauses on the same
+	// nymbox.
+	saving *saveClaim
 	// pendingRes is the RAM reservation enqueued synchronously by
 	// Launch, consumed by the first runLaunch attempt. Reserving at
 	// Launch time (not when the supervise proc first runs) means
@@ -291,6 +303,16 @@ type Orchestrator struct {
 	preemptArmed  bool
 	preempting    bool
 	preempted     PreemptStats
+
+	// Sweep scheduler state (sweep.go): the installed config (nil
+	// while stopped), the armed tick timer, the current possibly
+	// backed-off delay, in-flight pass count, and recorded telemetry.
+	sweepCfg   *SweepConfig
+	sweepTimer *sim.Timer
+	sweepDelay time.Duration
+	sweeping   int
+	sweepRecs  []SweepRecord
+	sweepErrs  []error
 
 	peakRAMBytes int64
 }
@@ -698,8 +720,14 @@ func (o *Orchestrator) setState(m *Member, s MemberState) {
 
 // SweepStats aggregates one staggered save sweep.
 type SweepStats struct {
-	Saves         int   // successful checkpoints
-	Errors        int   // failed checkpoints
+	Saves  int // successful checkpoints
+	Errors int // failed checkpoints
+	// Busy counts members left to another pass's in-flight save:
+	// their pre-existing checkpoint landed or is landing, but state
+	// dirtied after that save's export was NOT captured here. A
+	// pre-shutdown flush that needs full coverage should re-sweep
+	// while Busy > 0.
+	Busy          int
 	UploadedBytes int64 // vault wire bytes actually shipped
 	BaselineBytes int64 // what monolithic re-uploads would have cost
 	NewChunks     int
@@ -708,79 +736,60 @@ type SweepStats struct {
 }
 
 // SaveSweep checkpoints every Running persistent member through the
-// NymVault. Save launches are spaced SaveStagger apart with at most
-// SaveConcurrency in flight, so a fleet-wide checkpoint is a smooth
-// trickle on the anonymizer and the providers rather than a
-// thundering herd. destFor maps each member to its vault destination
-// (typically one pseudonymous account per nym).
+// NymVault, mutated or not — the caller-driven full checkpoint (a
+// fleet's cold save, a pre-shutdown flush). Save launches are spaced
+// SaveStagger apart with at most SaveConcurrency in flight, so a
+// fleet-wide checkpoint is a smooth trickle on the anonymizer and the
+// providers rather than a thundering herd. destFor maps each member
+// to its vault destination (typically one pseudonymous account per
+// nym). Members another pass is already saving are left alone. For
+// the periodic, dirty-skipping variant see StartSweeps.
 func (o *Orchestrator) SaveSweep(p *sim.Proc, password string, destFor func(*Member) core.VaultDest) (SweepStats, error) {
-	o.opStarted()
-	defer o.opDone()
-	start := p.Now()
-	gate := newSem(o.eng, int64(o.cfg.SaveConcurrency))
-	var futs []*sim.Future[core.SaveResult]
-	var saved []*Member
-	var dests []core.VaultDest
-	first := true
-	for _, m := range o.Members() {
-		if m.state != StateRunning || m.nym == nil || m.nym.Model() != core.ModelPersistent {
-			continue
-		}
-		if !first {
-			p.Sleep(o.cfg.SaveStagger)
-		}
-		first = false
-		sim.Await(p, gate.reserve(1))
-		// The stagger sleep and the gate wait both yield; the member may
-		// have crashed (FailNym) or been stopped in the meantime.
-		if m.state != StateRunning || m.nym == nil {
-			gate.release(1)
-			continue
-		}
-		dest := destFor(m)
-		fut := o.mgr.StoreNymVaultAsync(m.nym, password, dest)
-		fut.OnDone(func() { gate.release(1) })
-		futs = append(futs, fut)
-		saved = append(saved, m)
-		dests = append(dests, dest)
-	}
-	var st SweepStats
-	var errs []error
-	for i, f := range futs {
-		res, err := sim.Await(p, f)
-		if err != nil {
-			st.Errors++
-			errs = append(errs, fmt.Errorf("fleet: save %q: %w", res.Nym, err))
-			continue
-		}
-		st.Saves++
-		st.UploadedBytes += res.Stats.UploadedBytes
-		st.BaselineBytes += res.Stats.BaselineWireBytes
-		st.NewChunks += res.Stats.NewChunks
-		st.TotalChunks += res.Stats.TotalChunks
-		// A successful save becomes the member's restart checkpoint.
-		saved[i].checkpoint = &Checkpoint{Password: password, Dest: dests[i]}
-	}
-	st.Elapsed = p.Now() - start
-	o.sampleRAM()
-	return st, errors.Join(errs...)
+	rec, err := o.runSweep(p, SweepConfig{
+		Password:    password,
+		DestFor:     destFor,
+		Stagger:     o.cfg.SaveStagger,
+		Concurrency: o.cfg.SaveConcurrency,
+		SaveAll:     true,
+	})
+	return SweepStats{
+		Saves:         rec.Saves,
+		Errors:        rec.Errors,
+		Busy:          rec.Busy,
+		UploadedBytes: rec.UploadedBytes,
+		BaselineBytes: rec.BaselineBytes,
+		NewChunks:     rec.NewChunks,
+		TotalChunks:   rec.TotalChunks,
+		Elapsed:       rec.Elapsed,
+	}, err
 }
 
 // CheckpointNym vault-saves one Running member synchronously and
 // records the result as its checkpoint (the same record SaveSweep
 // writes). Migration uses it for the source-side save; callers that
-// checkpoint whole fleets should prefer SaveSweep's stagger.
+// checkpoint whole fleets should prefer SaveSweep's stagger. If a
+// sweep pass is already saving the member, CheckpointNym waits for
+// that save to finish before taking its own — a nym is never
+// double-checkpointed by two concurrent saves.
 func (o *Orchestrator) CheckpointNym(p *sim.Proc, name, password string, dest core.VaultDest) (vault.SaveStats, error) {
 	m := o.members[name]
 	if m == nil {
 		return vault.SaveStats{}, fmt.Errorf("%w: %q", ErrUnknownMember, name)
 	}
+	o.opStarted()
+	defer o.opDone()
+	for m.saving != nil {
+		o.parkOnChange(p)
+	}
+	// The wait yields; the member may have crashed or stopped while
+	// the sweep's save drained.
 	if m.state != StateRunning || m.nym == nil {
 		return vault.SaveStats{}, fmt.Errorf("%w: %q is %v", ErrNotRunning, name, m.state)
 	}
-	o.opStarted()
-	defer o.opDone()
+	claim := &saveClaim{}
+	m.saving = claim
 	stats, err := o.mgr.StoreNymVault(p, m.nym, password, dest)
+	o.releaseClaim(m, claim)
 	if err != nil {
 		return stats, err
 	}

@@ -77,6 +77,12 @@ func (o *Orchestrator) victims(pri Priority) []*Member {
 		if m.state != StateRunning || m.nym == nil || m.pri >= pri {
 			continue
 		}
+		if m.saving != nil {
+			// A sweep or migration checkpoint holds the member; evicting
+			// it now would double-save the nym mid-flight. The save's
+			// completion notifies, re-arming the preemption daemon.
+			continue
+		}
 		if durableModel(m.nym.Model()) && !o.canEvict() {
 			continue
 		}
@@ -170,10 +176,17 @@ func (o *Orchestrator) preemptMember(p *sim.Proc, m *Member) error {
 	if m.state != StateRunning || m.nym == nil {
 		return fmt.Errorf("%w: %q is %v", ErrNotRunning, m.spec.Name, m.state)
 	}
+	if m.saving != nil {
+		return fmt.Errorf("fleet: evict %q: checkpoint in flight", m.spec.Name)
+	}
 	durable := durableModel(m.nym.Model())
 	if durable {
 		dest := o.cfg.Preempt.DestFor(m)
-		if _, err := o.mgr.StoreNymVault(p, m.nym, o.cfg.Preempt.VaultPassword, dest); err != nil {
+		claim := &saveClaim{}
+		m.saving = claim
+		_, err := o.mgr.StoreNymVault(p, m.nym, o.cfg.Preempt.VaultPassword, dest)
+		o.releaseClaim(m, claim)
+		if err != nil {
 			// An unsaveable member is not evictable; leave it running.
 			return fmt.Errorf("fleet: evict %q: %w", m.spec.Name, err)
 		}

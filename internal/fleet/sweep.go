@@ -1,0 +1,426 @@
+package fleet
+
+// The checkpoint sweep scheduler: the daemonized, incremental save
+// path. SaveSweep (fleet.go) is caller-driven and saves every
+// persistent member whether or not it mutated; the scheduler here
+// fires on an interval, reads each nym's dirty state (plumbed up from
+// internal/vm through core.Nym), skips clean members entirely — no
+// upload, no login, no provider round trip — and backs off
+// exponentially while the orchestrator is under admission pressure or
+// a preemption pass is armed, so checkpointing never competes with
+// ramps or evictions for the wire and the chip.
+//
+// Unlike the KSM/preemption daemons, the sweep scheduler is
+// explicitly started and stopped (StartSweeps/StopSweeps): a periodic
+// checkpoint is open-ended work, so only the caller knows when the
+// fleet's useful life is over and the engine should drain.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"nymix/internal/cloud"
+	"nymix/internal/core"
+	"nymix/internal/sim"
+)
+
+// ErrSweepsRunning is returned by StartSweeps when a scheduler is
+// already installed.
+var ErrSweepsRunning = errors.New("fleet: sweep scheduler already running")
+
+// saveClaim is one holder's claim on a member's in-flight save (see
+// Member.saving). Each claimant allocates its own token and releases
+// only a claim it still holds.
+type saveClaim struct{}
+
+// releaseClaim clears m's save claim if tok still holds it, waking
+// anyone parked on the flag. Releasing a claim another holder has
+// since taken is a no-op. The release also re-arms the preemption
+// daemon: victims() excludes saving members, so a pressure episode
+// that found every adequate victim mid-save disarmed itself and
+// nothing else would re-evaluate it — the freed member may be the
+// victim a parked launch is waiting on.
+func (o *Orchestrator) releaseClaim(m *Member, tok *saveClaim) {
+	if m.saving == tok {
+		m.saving = nil
+		o.schedulePreempt()
+		o.notify()
+	}
+}
+
+// SweepConfig parameterizes the checkpoint sweep scheduler (and a
+// single SweepOnce pass). Zero values take defaults.
+type SweepConfig struct {
+	// Interval is the scheduler's firing period (default 30s).
+	Interval time.Duration
+	// Password seals the checkpoints; DestFor maps each member to its
+	// vault destination. Both are required for StartSweeps.
+	Password string
+	DestFor  func(*Member) core.VaultDest
+	// Stagger spaces successive save launches inside one sweep
+	// (default: the orchestrator's SaveStagger). Concurrency caps
+	// in-flight saves per sweep (default: SaveConcurrency).
+	Stagger     time.Duration
+	Concurrency int
+	// SaveAll disables dirty-skip: every Running persistent member is
+	// saved, mutated or not — the naive mode the scheduled sweep is
+	// benchmarked against.
+	SaveAll bool
+	// MaxBackoff caps the exponential backoff applied while the
+	// orchestrator is under admission pressure or preempting
+	// (default 4x Interval). It is also the staleness ceiling: once
+	// the delay is fully backed off, ticks sweep even under pressure —
+	// pressure defers checkpoints, it never cancels them, so a fleet
+	// pinned at capacity still checkpoints at MaxBackoff cadence.
+	MaxBackoff time.Duration
+}
+
+func (c *SweepConfig) fillDefaults(base Config) {
+	if c.Interval <= 0 {
+		c.Interval = 30 * time.Second
+	}
+	if c.Stagger <= 0 {
+		c.Stagger = base.SaveStagger
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = base.SaveConcurrency
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 4 * c.Interval
+	}
+}
+
+// SweepRecord is the telemetry of one scheduled sweep pass (or one
+// backed-off tick).
+type SweepRecord struct {
+	At      sim.Time      // when the pass started
+	Elapsed time.Duration // launch of first save to completion of last
+	// BackedOff marks a tick the scheduler skipped under admission or
+	// preemption pressure; all other fields are zero.
+	BackedOff bool
+	Eligible  int // Running persistent members considered
+	Saves     int // checkpoints performed
+	Skipped   int // clean members skipped (the dirty-skip win)
+	Busy      int // members already mid-save, left alone
+	Errors    int // failed checkpoints
+	// UploadedBytes is vault wire actually shipped; LoginBytes is the
+	// per-provider session-setup wire charged for each launched save.
+	// BaselineBytes prices the monolithic re-upload of what was saved.
+	UploadedBytes int64
+	LoginBytes    int64
+	BaselineBytes int64
+	NewChunks     int
+	TotalChunks   int
+}
+
+// WireBytes is the pass's total checkpoint wire: uploads plus session
+// setup.
+func (r SweepRecord) WireBytes() int64 { return r.UploadedBytes + r.LoginBytes }
+
+// DirtySkipRatio is the fraction of eligible members skipped as clean
+// (1.0 = a fully idle fleet cost nothing).
+func (r SweepRecord) DirtySkipRatio() float64 {
+	if r.Eligible == 0 {
+		return 0
+	}
+	return float64(r.Skipped) / float64(r.Eligible)
+}
+
+// SweepReport aggregates every recorded sweep pass — the typed
+// telemetry the experiments render: total wire, dirty-skip ratio, and
+// per-sweep latency percentiles.
+type SweepReport struct {
+	Sweeps   int // completed passes (backed-off ticks excluded)
+	Backoffs int // ticks skipped under pressure
+	Eligible int
+	Saves    int
+	Skips    int
+	Busy     int
+	Errors   int
+	// UploadedBytes/LoginBytes/BaselineBytes sum the per-pass figures.
+	UploadedBytes int64
+	LoginBytes    int64
+	BaselineBytes int64
+	NewChunks     int
+	// LatencyP50/P95 are nearest-rank percentiles over completed
+	// passes' Elapsed times.
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+	Records    []SweepRecord
+}
+
+// WireBytes is the total checkpoint wire across all passes.
+func (r SweepReport) WireBytes() int64 { return r.UploadedBytes + r.LoginBytes }
+
+// DirtySkipRatio is the overall fraction of eligible member-passes
+// skipped as clean.
+func (r SweepReport) DirtySkipRatio() float64 {
+	if r.Eligible == 0 {
+		return 0
+	}
+	return float64(r.Skips) / float64(r.Eligible)
+}
+
+// SweepReport builds the aggregate report from every pass recorded so
+// far (scheduler ticks and explicit SweepOnce calls alike).
+func (o *Orchestrator) SweepReport() SweepReport {
+	rep := SweepReport{Records: append([]SweepRecord(nil), o.sweepRecs...)}
+	var lats []time.Duration
+	for _, rec := range o.sweepRecs {
+		if rec.BackedOff {
+			rep.Backoffs++
+			continue
+		}
+		rep.Sweeps++
+		rep.Eligible += rec.Eligible
+		rep.Saves += rec.Saves
+		rep.Skips += rec.Skipped
+		rep.Busy += rec.Busy
+		rep.Errors += rec.Errors
+		rep.UploadedBytes += rec.UploadedBytes
+		rep.LoginBytes += rec.LoginBytes
+		rep.BaselineBytes += rec.BaselineBytes
+		rep.NewChunks += rec.NewChunks
+		lats = append(lats, rec.Elapsed)
+	}
+	rep.LatencyP50 = LatencyPercentile(lats, 0.50)
+	rep.LatencyP95 = LatencyPercentile(lats, 0.95)
+	return rep
+}
+
+// SweepErrors returns every error a recorded sweep pass produced, in
+// order. Tests use it to assert that interleavings (crash injection,
+// migration, preemption) never drive the save path into an illegal
+// state, rather than just counting failures.
+func (o *Orchestrator) SweepErrors() []error {
+	return append([]error(nil), o.sweepErrs...)
+}
+
+// LatencyPercentile returns the nearest-rank q-quantile of ds, or 0.
+// Exported so layered sweep telemetry (the cluster coordinator, the
+// experiments) renders percentiles the same way.
+func LatencyPercentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// StartSweeps installs the checkpoint sweep scheduler: the first pass
+// fires one Interval from now and the scheduler re-arms after every
+// pass until StopSweeps. While the orchestrator is under admission
+// pressure (launches queued for RAM) or a preemption pass is armed or
+// in flight, ticks are skipped and the delay doubles up to MaxBackoff;
+// once saturated, ticks sweep even under pressure (MaxBackoff is the
+// checkpoint-staleness ceiling), and the first calm tick resets the
+// cadence.
+func (o *Orchestrator) StartSweeps(cfg SweepConfig) error {
+	if o.sweepCfg != nil {
+		return ErrSweepsRunning
+	}
+	if cfg.Password == "" || cfg.DestFor == nil {
+		return errors.New("fleet: sweep scheduler needs Password and DestFor")
+	}
+	cfg.fillDefaults(o.cfg)
+	o.sweepCfg = &cfg
+	o.sweepDelay = cfg.Interval
+	o.sweepTimer = o.eng.Schedule(cfg.Interval, o.sweepTick)
+	return nil
+}
+
+// StopSweeps uninstalls the scheduler. A pass already in flight runs
+// to completion (AwaitSweepsIdle waits it out); no further tick fires.
+func (o *Orchestrator) StopSweeps() {
+	if o.sweepTimer != nil {
+		o.sweepTimer.Cancel()
+		o.sweepTimer = nil
+	}
+	o.sweepCfg = nil
+}
+
+// SweepsRunning reports whether the scheduler is installed.
+func (o *Orchestrator) SweepsRunning() bool { return o.sweepCfg != nil }
+
+// AwaitSweepsIdle parks the caller until no sweep pass is in flight.
+// Call it after StopSweeps for a clean teardown boundary.
+func (o *Orchestrator) AwaitSweepsIdle(p *sim.Proc) {
+	for o.sweeping > 0 {
+		o.parkOnChange(p)
+	}
+}
+
+// underSavePressure reports the conditions under which the scheduler
+// stands aside: launches queued for admission (a ramp or migration
+// wants the wire and the chip first) or the preemption machinery armed
+// or mid-pass (checkpointing a victim it is about to evict would race
+// the eviction's own save).
+func (o *Orchestrator) underSavePressure() bool {
+	return o.ram.queued() > 0 || o.preemptArmed || o.preempting
+}
+
+// sweepTick is one scheduler firing.
+func (o *Orchestrator) sweepTick() {
+	cfg := o.sweepCfg
+	if cfg == nil {
+		return
+	}
+	if o.underSavePressure() && o.sweepDelay < cfg.MaxBackoff {
+		o.sweepRecs = append(o.sweepRecs, SweepRecord{At: o.eng.Now(), BackedOff: true})
+		o.sweepDelay *= 2
+		if o.sweepDelay > cfg.MaxBackoff {
+			o.sweepDelay = cfg.MaxBackoff
+		}
+		o.sweepTimer = o.eng.Schedule(o.sweepDelay, o.sweepTick)
+		return
+	}
+	// Either calm, or the backoff is saturated at MaxBackoff: sweep
+	// anyway. Sustained pressure (a fleet pinned at capacity keeps its
+	// admission queue non-empty forever) must defer checkpoints, never
+	// starve them — MaxBackoff is the staleness ceiling.
+	if !o.underSavePressure() {
+		o.sweepDelay = cfg.Interval
+	}
+	if o.sweeping > 0 {
+		// A manual SweepOnce (or cluster-coordinated pass) is mid-
+		// flight; piling a second pass on top would double-checkpoint.
+		o.sweepTimer = o.eng.Schedule(cfg.Interval, o.sweepTick)
+		return
+	}
+	// Count the pass as in flight from this instant, not from when its
+	// proc first runs: eng.Go only schedules a zero-delay start event,
+	// and a StopSweeps+AwaitSweepsIdle at the same timestamp would
+	// otherwise see zero in flight and let StopAll race the escaped
+	// pass's saves.
+	o.sweeping++
+	o.eng.Go("fleet/sweep", func(p *sim.Proc) {
+		o.SweepOnce(p, *cfg)
+		o.sweeping--
+		o.notify()
+		// Re-arm only if THIS scheduler installation is still the live
+		// one: a StopSweeps/StartSweeps cycle during the pass has
+		// already armed its own tick chain, and re-arming here would
+		// run two chains at double cadence.
+		if o.sweepCfg == cfg {
+			o.sweepTimer = o.eng.Schedule(o.sweepDelay, o.sweepTick)
+		}
+	})
+}
+
+// SweepOnce runs one checkpoint sweep pass immediately on the calling
+// process and records its telemetry: every Running persistent member
+// is considered; clean members are skipped (unless SaveAll), members
+// already mid-save are left alone, and the rest are checkpointed with
+// the pass's stagger and concurrency bound. The cluster-wide sweep
+// coordinator calls this per host inside its stagger slots.
+func (o *Orchestrator) SweepOnce(p *sim.Proc, cfg SweepConfig) (SweepRecord, error) {
+	cfg.fillDefaults(o.cfg)
+	o.sweeping++
+	rec, err := o.runSweep(p, cfg)
+	o.sweeping--
+	o.sweepRecs = append(o.sweepRecs, rec)
+	if err != nil {
+		o.sweepErrs = append(o.sweepErrs, err)
+	}
+	o.notify()
+	return rec, err
+}
+
+// runSweep is the shared sweep engine under SaveSweep (SaveAll, the
+// caller-driven full checkpoint) and SweepOnce (the scheduler's
+// dirty-skipping pass).
+func (o *Orchestrator) runSweep(p *sim.Proc, cfg SweepConfig) (SweepRecord, error) {
+	o.opStarted()
+	defer o.opDone()
+	rec := SweepRecord{At: p.Now()}
+	gate := newSem(o.eng, int64(cfg.Concurrency))
+	var futs []*sim.Future[core.SaveResult]
+	var saved []*Member
+	var dests []core.VaultDest
+	var claims []*saveClaim
+	first := true
+	for _, m := range o.Members() {
+		if m.state != StateRunning || m.nym == nil || m.nym.Model() != core.ModelPersistent {
+			continue
+		}
+		rec.Eligible++
+		if m.saving != nil {
+			// Another pass (a migration's CheckpointNym, an eviction)
+			// holds this member's save slot; touching it here would
+			// double-checkpoint a nym mid-operation.
+			rec.Busy++
+			continue
+		}
+		if !cfg.SaveAll && !m.nym.StateDirty() {
+			rec.Skipped++
+			continue
+		}
+		if !first {
+			p.Sleep(cfg.Stagger)
+		}
+		first = false
+		sim.Await(p, gate.reserve(1))
+		// The stagger sleep and the gate wait both yield; the member
+		// may have crashed, stopped, or been claimed by a migration's
+		// checkpoint in the meantime. Count it as Busy so every
+		// eligible member lands in exactly one outcome bucket and the
+		// dirty-skip ratio stays honest.
+		if m.state != StateRunning || m.nym == nil || m.saving != nil {
+			gate.release(1)
+			rec.Busy++
+			continue
+		}
+		dest := cfg.DestFor(m)
+		claim := &saveClaim{}
+		m.saving = claim
+		fut := o.mgr.StoreNymVaultAsync(m.nym, cfg.Password, dest)
+		member := m
+		// Release the claim and the gate slot (and wake saving-flag
+		// waiters) the moment the save completes, so later launches in
+		// this pass overlap with it. The claim is ALSO released in the
+		// await loop below: OnDone fires as a zero-delay event, which
+		// would leave it visibly stale to whoever runs right after this
+		// pass's final await returns. Both releases are token-guarded,
+		// so whichever runs second — possibly after a waiter has
+		// re-claimed the member for its own save — is a no-op.
+		fut.OnDone(func() {
+			o.releaseClaim(member, claim)
+			gate.release(1)
+		})
+		futs = append(futs, fut)
+		saved = append(saved, m)
+		dests = append(dests, dest)
+		claims = append(claims, claim)
+		rec.LoginBytes += int64(len(dest.Providers)) * cloud.LoginWireBytes
+	}
+	var errs []error
+	for i, f := range futs {
+		res, err := sim.Await(p, f)
+		o.releaseClaim(saved[i], claims[i])
+		if err != nil {
+			rec.Errors++
+			errs = append(errs, fmt.Errorf("fleet: save %q: %w", res.Nym, err))
+			continue
+		}
+		rec.Saves++
+		rec.UploadedBytes += res.Stats.UploadedBytes
+		rec.BaselineBytes += res.Stats.BaselineWireBytes
+		rec.NewChunks += res.Stats.NewChunks
+		rec.TotalChunks += res.Stats.TotalChunks
+		// A successful save becomes the member's restart checkpoint.
+		saved[i].checkpoint = &Checkpoint{Password: cfg.Password, Dest: dests[i]}
+	}
+	rec.Elapsed = p.Now() - rec.At
+	o.sampleRAM()
+	return rec, errors.Join(errs...)
+}

@@ -28,6 +28,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
+	"sort"
 
 	"nymix/internal/anonnet"
 	"nymix/internal/unionfs"
@@ -67,6 +69,131 @@ type Archive struct {
 	// entropy) plus encryption overhead. This is the number Figure 6
 	// reports and what cloud storage and transfers charge.
 	WireSize int64
+}
+
+// --- deterministic serialization ---------------------------------
+//
+// gob writes Go maps in iteration order, and Go randomizes that order
+// per run: encoding a State directly would give the same nym state a
+// different gzipped length — and so a different archive wire size —
+// on every run. Everything downstream assumes identical state means
+// identical bytes (reproducible experiment stats, stable manifest
+// sizes), so State is flattened to sorted slices before encoding.
+
+// fileWire is one file of an image in serialization order.
+type fileWire struct {
+	Path        string
+	Data        []byte
+	Real        bool
+	VirtualSize int64
+	Entropy     float64
+}
+
+// imageWire is a unionfs.Image with its file map flattened.
+type imageWire struct {
+	Name      string
+	Files     []fileWire // sorted by path
+	Whiteouts []string   // sorted
+}
+
+// kvWire is one anonymizer-state pair.
+type kvWire struct{ K, V string }
+
+// stateWire is the deterministic gob form of State.
+type stateWire struct {
+	Name      string
+	Model     string
+	Cycles    int
+	AnonDisk  imageWire
+	CommDisk  imageWire
+	AnonState []kvWire // sorted by key
+}
+
+// sortedPaths returns an image's file paths in sorted order — the one
+// deterministic walk order shared by serialization and size pricing.
+func sortedPaths(files map[string]unionfs.FileImage) []string {
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+func imageToWire(img unionfs.Image) imageWire {
+	w := imageWire{Name: img.Name, Whiteouts: append([]string(nil), img.Whiteouts...)}
+	sort.Strings(w.Whiteouts)
+	for _, p := range sortedPaths(img.Files) {
+		f := img.Files[p]
+		w.Files = append(w.Files, fileWire{
+			Path: p, Data: f.Data, Real: f.Real,
+			VirtualSize: f.VirtualSize, Entropy: f.Entropy,
+		})
+	}
+	return w
+}
+
+func wireToImage(w imageWire) unionfs.Image {
+	img := unionfs.Image{
+		Name:      w.Name,
+		Files:     make(map[string]unionfs.FileImage, len(w.Files)),
+		Whiteouts: append([]string(nil), w.Whiteouts...),
+	}
+	for _, f := range w.Files {
+		img.Files[f.Path] = unionfs.FileImage{
+			Data: f.Data, Real: f.Real, VirtualSize: f.VirtualSize, Entropy: f.Entropy,
+		}
+	}
+	return img
+}
+
+// FlattenStateMap converts an anonymizer-state map to sorted pairs —
+// the shared deterministic form (internal/vault's manifests flatten
+// the same way).
+func FlattenStateMap(st map[string]string) [][2]string {
+	keys := make([]string, 0, len(st))
+	for k := range st {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][2]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, [2]string{k, st[k]})
+	}
+	return out
+}
+
+// encodeState gob-encodes st deterministically into w.
+func encodeState(w io.Writer, st *State) error {
+	sw := stateWire{
+		Name: st.Name, Model: st.Model, Cycles: st.Cycles,
+		AnonDisk: imageToWire(st.AnonDisk),
+		CommDisk: imageToWire(st.CommDisk),
+	}
+	for _, kv := range FlattenStateMap(st.AnonState) {
+		sw.AnonState = append(sw.AnonState, kvWire{K: kv[0], V: kv[1]})
+	}
+	return gob.NewEncoder(w).Encode(&sw)
+}
+
+// decodeState reverses encodeState.
+func decodeState(r io.Reader) (*State, error) {
+	var sw stateWire
+	if err := gob.NewDecoder(r).Decode(&sw); err != nil {
+		return nil, err
+	}
+	st := &State{
+		Name: sw.Name, Model: sw.Model, Cycles: sw.Cycles,
+		AnonDisk: wireToImage(sw.AnonDisk),
+		CommDisk: wireToImage(sw.CommDisk),
+	}
+	if len(sw.AnonState) > 0 {
+		st.AnonState = make(anonnet.State, len(sw.AnonState))
+		for _, kv := range sw.AnonState {
+			st.AnonState[kv.K] = kv.V
+		}
+	}
+	return st, nil
 }
 
 // DeriveKey is PBKDF2-HMAC-SHA256 (RFC 2898). Implemented here because
@@ -129,7 +256,11 @@ func compressedSizeModel(images ...unionfs.Image) int64 {
 	var real bytes.Buffer
 	zw := gzip.NewWriter(&real)
 	for _, img := range images {
-		for path, f := range img.Files {
+		// Walk files in sorted path order: gzip's output length depends
+		// on input order, and map iteration would make the same image
+		// price differently across runs.
+		for _, path := range sortedPaths(img.Files) {
+			f := img.Files[path]
 			if f.Real {
 				zw.Write([]byte(path))
 				zw.Write(f.Data)
@@ -159,7 +290,7 @@ const (
 func EstimateArchiveWireSize(st *State) (int64, error) {
 	var plain bytes.Buffer
 	zw := gzip.NewWriter(&plain)
-	if err := gob.NewEncoder(zw).Encode(st); err != nil {
+	if err := encodeState(zw, st); err != nil {
 		return 0, fmt.Errorf("nymstate: encode: %w", err)
 	}
 	if err := zw.Close(); err != nil {
@@ -177,7 +308,7 @@ type RandSource interface{ Bytes(b []byte) }
 func Seal(st *State, password string, rnd RandSource) (*Archive, error) {
 	var plain bytes.Buffer
 	zw := gzip.NewWriter(&plain)
-	if err := gob.NewEncoder(zw).Encode(st); err != nil {
+	if err := encodeState(zw, st); err != nil {
 		return nil, fmt.Errorf("nymstate: encode: %w", err)
 	}
 	if err := zw.Close(); err != nil {
@@ -226,11 +357,11 @@ func Open(a *Archive, password string, name string) (*State, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadArchive, err)
 	}
-	var st State
-	if err := gob.NewDecoder(zr).Decode(&st); err != nil {
+	st, err := decodeState(zr)
+	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadArchive, err)
 	}
-	return &st, nil
+	return st, nil
 }
 
 // Encode serializes an archive for storage.

@@ -17,6 +17,7 @@
 package unionfs
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"path"
@@ -74,6 +75,12 @@ type Layer struct {
 	whiteouts map[string]bool
 	sealed    bool
 	onDelta   func(int64) // byte-usage accounting hook (may be nil)
+	// onMutate fires when an existing file's content is rewritten (may
+	// be nil) — the mutation the delta hook underreports or misses
+	// entirely. The argument is the rewritten content beyond what the
+	// delta hook already saw, so delta + mutate together account the
+	// full rewrite.
+	onMutate func(int64)
 }
 
 // NewLayer returns an empty, writable layer.
@@ -99,6 +106,13 @@ func (l *Layer) Sealed() bool { return l.sealed }
 // memory.
 func (l *Layer) SetDeltaFunc(fn func(int64)) { l.onDelta = fn }
 
+// SetMutateFunc registers fn for content rewrites of existing files —
+// the mutation the delta hook underreports (a grown file's rewritten
+// prefix) or misses entirely (a same-size rewrite). Dirty tracking
+// (internal/vm) listens on both hooks; writing a file with the bytes
+// it already holds fires neither.
+func (l *Layer) SetMutateFunc(fn func(int64)) { l.onMutate = fn }
+
 // UsedBytes returns the total logical bytes stored in this layer.
 func (l *Layer) UsedBytes() int64 {
 	var n int64
@@ -122,13 +136,50 @@ func (l *Layer) put(p string, f *File) error {
 		return fmt.Errorf("%w (%s)", ErrReadOnly, l.name)
 	}
 	var old int64
-	if prev, ok := l.files[p]; ok {
+	prev, existed := l.files[p]
+	if existed {
 		old = prev.Size()
 	}
 	l.files[p] = f
 	delete(l.whiteouts, p)
-	l.delta(f.Size() - old)
+	d := f.Size() - old
+	l.delta(d)
+	// Rewriting an existing file's content is more mutation than the
+	// size delta conveys: the whole new content must be re-chunked by
+	// a checkpoint, not just the grown tail. Report the portion the
+	// delta hook did not already carry (all of it for a same-size or
+	// shrinking rewrite, the retained prefix for a growing one). A new
+	// zero-byte file is likewise a zero-delta image change: it adds an
+	// entry (and may clear a whiteout) the exported image carries.
+	if l.onMutate != nil {
+		if existed {
+			if !sameContent(prev, f) {
+				c := f.Size()
+				if d > 0 {
+					c -= d
+				}
+				if c > 0 {
+					l.onMutate(c)
+				}
+			}
+		} else if d == 0 {
+			l.onMutate(0)
+		}
+	}
 	return nil
+}
+
+// sameContent reports whether two files hold identical content: equal
+// bytes for real files, equal size and entropy for virtual ones. A
+// kind change (real <-> virtual) is always a content change.
+func sameContent(a, b *File) bool {
+	if (a.Data == nil) != (b.Data == nil) {
+		return false
+	}
+	if a.Data != nil {
+		return bytes.Equal(a.Data, b.Data)
+	}
+	return a.VirtualSize == b.VirtualSize && a.Entropy == b.Entropy
 }
 
 // Clone returns a deep copy of the layer (unsealed, no delta hook).
@@ -363,19 +414,34 @@ func (fs *FS) Remove(p string) error {
 	if !visible {
 		return fmt.Errorf("%w: %s", ErrNotExist, p)
 	}
+	// Track image changes the delta hook cannot see: removing a
+	// zero-byte top-layer file, or deleting a file that lives only in
+	// a lower layer (the removal is purely a new whiteout). Both
+	// change the exported image — a checkpoint must record them, so
+	// dirty tracking must fire.
+	mutated := false
 	if f, ok := top.files[p]; ok {
 		top.delta(-f.Size())
+		if f.Size() == 0 {
+			mutated = true
+		}
 		delete(top.files, p)
 	}
 	// Mask any lower-layer copy.
 	for _, l := range fs.layers[1:] {
 		if _, ok := l.files[p]; ok {
+			if !top.whiteouts[p] {
+				mutated = true
+			}
 			top.whiteouts[p] = true
 			break
 		}
 		if l.whiteouts[p] {
 			break
 		}
+	}
+	if mutated && top.onMutate != nil {
+		top.onMutate(0)
 	}
 	return nil
 }

@@ -1,0 +1,105 @@
+package vault
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedCorpus is the seed corpus for the chunker fuzzers: empty
+// and tiny inputs, boundary-straddling sizes, low-entropy runs the
+// rolling hash never fires on, and pseudo-random bytes that exercise
+// real content-defined cuts.
+func fuzzSeedCorpus(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("hello, vault"))
+	f.Add(bytes.Repeat([]byte{0}, MinChunk-1))
+	f.Add(bytes.Repeat([]byte{0xAA}, MinChunk+1))
+	f.Add(bytes.Repeat([]byte("abcd"), MaxChunk/4+17))
+	f.Add(bytes.Repeat([]byte{0xFF}, 3*MaxChunk))
+	// Deterministic pseudo-random content (splitmix64, same generator
+	// idiom as the buzhash table) long enough for several cuts.
+	rndData := make([]byte, 5*MaxChunk+13)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range rndData {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		rndData[i] = byte(z ^ (z >> 31))
+	}
+	f.Add(rndData)
+}
+
+// FuzzCutReal pins the CDC chunker's contract for arbitrary inputs:
+// boundaries are deterministic (the same bytes always cut the same
+// way — the property content addressing and dedup stand on),
+// reassembling the chunks reproduces the input byte-for-byte, and
+// every chunk respects the size bounds (MaxChunk always; MinChunk for
+// all but a short tail).
+func FuzzCutReal(f *testing.F) {
+	fuzzSeedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		chunks := cutReal(data)
+		if len(data) == 0 {
+			// An empty real file is still a real file: one empty chunk.
+			if len(chunks) != 1 || len(chunks[0]) != 0 {
+				t.Fatalf("empty input: got %d chunks", len(chunks))
+			}
+			return
+		}
+		var rejoined []byte
+		for i, ch := range chunks {
+			if len(ch) > MaxChunk {
+				t.Fatalf("chunk %d is %d bytes, exceeds MaxChunk %d", i, len(ch), MaxChunk)
+			}
+			if i < len(chunks)-1 && len(data) > MinChunk && len(ch) < MinChunk {
+				t.Fatalf("non-tail chunk %d is %d bytes, below MinChunk %d", i, len(ch), MinChunk)
+			}
+			rejoined = append(rejoined, ch...)
+		}
+		if !bytes.Equal(rejoined, data) {
+			t.Fatalf("reassembly mismatch: %d bytes in, %d bytes out", len(data), len(rejoined))
+		}
+		// Boundary determinism: cutting the same bytes again must yield
+		// identical boundaries.
+		again := cutReal(append([]byte(nil), data...))
+		if len(again) != len(chunks) {
+			t.Fatalf("non-deterministic cut: %d chunks then %d", len(chunks), len(again))
+		}
+		for i := range chunks {
+			if !bytes.Equal(chunks[i], again[i]) {
+				t.Fatalf("non-deterministic boundary at chunk %d", i)
+			}
+		}
+	})
+}
+
+// FuzzCutVirtual pins the virtual segmenter: segments sum to the file
+// size, all full segments are VirtualChunkBytes, and only the tail
+// may be short.
+func FuzzCutVirtual(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(1))
+	f.Add(int64(VirtualChunkBytes))
+	f.Add(int64(VirtualChunkBytes + 1))
+	f.Add(int64(10*VirtualChunkBytes - 1))
+	f.Fuzz(func(t *testing.T, size int64) {
+		if size < 0 || size > 1<<40 {
+			t.Skip()
+		}
+		segs := cutVirtual(size)
+		var sum int64
+		for i, s := range segs {
+			if s <= 0 || s > VirtualChunkBytes {
+				t.Fatalf("segment %d has size %d", i, s)
+			}
+			if i < len(segs)-1 && s != VirtualChunkBytes {
+				t.Fatalf("non-tail segment %d is %d bytes", i, s)
+			}
+			sum += s
+		}
+		if sum != size {
+			t.Fatalf("segments sum to %d, want %d", sum, size)
+		}
+	})
+}

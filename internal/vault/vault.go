@@ -800,13 +800,40 @@ func parseChunkName(prefix, name string) (Addr, error) {
 	return a, nil
 }
 
+// manifestWire is the gob form of a Manifest. The AnonState map is
+// flattened to sorted pairs before encoding: gob writes maps in
+// iteration order, which Go randomizes per run, and an
+// order-dependent encoding would give the identical manifest a
+// different gzipped wire size on every run.
+type manifestWire struct {
+	Name          string
+	Model         string
+	Cycles        int
+	Seq           int
+	AnonDiskName  string
+	CommDiskName  string
+	AnonWhiteouts []string
+	CommWhiteouts []string
+	AnonState     [][2]string // sorted by key
+	Files         []FileEntry
+	Chunks        []ChunkRef
+	Root          merkle.Hash
+}
+
 // sealManifest serializes, compresses, and seals a manifest. The blob
 // layout is nonce || ciphertext; the AAD binds the nym name so a
 // manifest cannot be replayed under another nym.
 func sealManifest(man *Manifest, ks keys, rnd nymstate.RandSource) (cloud.Blob, error) {
+	wireForm := manifestWire{
+		Name: man.Name, Model: man.Model, Cycles: man.Cycles, Seq: man.Seq,
+		AnonDiskName: man.AnonDiskName, CommDiskName: man.CommDiskName,
+		AnonWhiteouts: man.AnonWhiteouts, CommWhiteouts: man.CommWhiteouts,
+		AnonState: nymstate.FlattenStateMap(man.AnonState),
+		Files:     man.Files, Chunks: man.Chunks, Root: man.Root,
+	}
 	var plainBuf bytes.Buffer
 	zw := gzip.NewWriter(&plainBuf)
-	if err := gob.NewEncoder(zw).Encode(man); err != nil {
+	if err := gob.NewEncoder(zw).Encode(&wireForm); err != nil {
 		return cloud.Blob{}, fmt.Errorf("vault: encode manifest: %w", err)
 	}
 	if err := zw.Close(); err != nil {
@@ -842,9 +869,21 @@ func openManifest(data []byte, password, name string) (*Manifest, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", nymstate.ErrBadArchive, err)
 	}
-	var man Manifest
-	if err := gob.NewDecoder(zr).Decode(&man); err != nil {
+	var wireForm manifestWire
+	if err := gob.NewDecoder(zr).Decode(&wireForm); err != nil {
 		return nil, fmt.Errorf("%w: %v", nymstate.ErrBadArchive, err)
+	}
+	man := Manifest{
+		Name: wireForm.Name, Model: wireForm.Model, Cycles: wireForm.Cycles, Seq: wireForm.Seq,
+		AnonDiskName: wireForm.AnonDiskName, CommDiskName: wireForm.CommDiskName,
+		AnonWhiteouts: wireForm.AnonWhiteouts, CommWhiteouts: wireForm.CommWhiteouts,
+		Files: wireForm.Files, Chunks: wireForm.Chunks, Root: wireForm.Root,
+	}
+	if len(wireForm.AnonState) > 0 {
+		man.AnonState = make(map[string]string, len(wireForm.AnonState))
+		for _, kv := range wireForm.AnonState {
+			man.AnonState[kv[0]] = kv[1]
+		}
 	}
 	return &man, nil
 }

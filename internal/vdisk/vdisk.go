@@ -60,6 +60,11 @@ func (d *Disk) FS() *unionfs.FS { return d.fs }
 // so the hypervisor can charge tmpfs usage against host RAM.
 func (d *Disk) SetDeltaFunc(fn func(int64)) { d.fs.Top().SetDeltaFunc(fn) }
 
+// SetMutateFunc forwards the size-preserving-rewrite hook to the
+// writable layer, so dirty tracking sees content changes the byte
+// delta cannot.
+func (d *Disk) SetMutateFunc(fn func(int64)) { d.fs.Top().SetMutateFunc(fn) }
+
 func (d *Disk) checkRoom(delta int64) error {
 	if d.capacity != 0 && delta > 0 && d.Used()+delta > d.capacity {
 		return fmt.Errorf("%w: %s (%d used of %d)", ErrDiskFull, d.name, d.Used(), d.capacity)

@@ -97,6 +97,29 @@ type VM struct {
 	diskPageMax  int64
 	pendingDisk  int64 // sub-page disk bytes awaiting a full page
 	bootedAt     sim.Time
+	dirty        DirtyStats
+}
+
+// DirtyStats is a VM's cumulative mutation accounting: the raw signal
+// a checkpoint scheduler needs to tell a mutated nymbox from a clean
+// one without exporting or hashing any state. All three counters are
+// monotonic over the VM's lifetime; a checkpointing layer snapshots
+// them at save time and compares later readings against the snapshot,
+// so concurrent mutation between snapshot and comparison is never
+// lost to a reset.
+type DirtyStats struct {
+	// Gen is the mutation generation stamp, bumped on every
+	// state-mutating write (unique RAM dirtying or a writable-disk
+	// change). Two equal readings mean no mutation happened between
+	// them.
+	Gen uint64
+	// RAMPages counts unique RAM pages dirtied (boot's private
+	// fraction, session activity, workload writes).
+	RAMPages int64
+	// DiskBytes counts absolute writable-disk byte churn: grown,
+	// shrunk, and discarded bytes all accumulate, because any of them
+	// changes the disk image a checkpoint would export.
+	DiskBytes int64
 }
 
 // New creates a VM: allocates its address space on host memory,
@@ -127,6 +150,7 @@ func New(eng *sim.Engine, host *mem.Host, cfg Config, lower ...*unionfs.Layer) (
 		diskPageMax: cfg.DiskBytes / mem.PageSize,
 	}
 	disk.SetDeltaFunc(v.chargeDisk)
+	disk.SetMutateFunc(v.noteDiskRewrite)
 	return v, nil
 }
 
@@ -158,13 +182,36 @@ func (v *VM) Node() *vnet.Node { return v.node }
 // BootedAt returns when the VM finished booting.
 func (v *VM) BootedAt() sim.Time { return v.bootedAt }
 
+// DirtyStats returns the VM's cumulative mutation counters.
+func (v *VM) DirtyStats() DirtyStats { return v.dirty }
+
 // chargeDisk exists for the accounting hook; with Nymix's KVM
 // configuration the writable disk is preallocated from host RAM at VM
 // initialization ("the host allocates disk and RAM from its own stash
 // of RAM", section 5.2), so individual file writes change nothing.
-// The hook still tracks logical usage for introspection.
+// The hook still tracks logical usage for introspection, and feeds
+// the dirty counters: any writable-layer delta means the disk image a
+// checkpoint would export has changed.
 func (v *VM) chargeDisk(delta int64) {
 	v.pendingDisk += delta
+	if delta != 0 {
+		v.dirty.Gen++
+		if delta < 0 {
+			delta = -delta
+		}
+		v.dirty.DiskBytes += delta
+	}
+}
+
+// noteDiskRewrite covers what the delta hook underreports: rewriting
+// an existing file changes content a checkpoint must re-chunk beyond
+// the size delta — all of it for a same-size or shrinking rewrite,
+// the retained prefix for a growing one. (Writing a file with the
+// content it already holds fires neither hook — a no-op save-path
+// re-export must not mark the nym dirty.)
+func (v *VM) noteDiskRewrite(rewritten int64) {
+	v.dirty.Gen++
+	v.dirty.DiskBytes += rewritten
 }
 
 // Boot starts the VM: KVM touches most of the requested memory at
@@ -231,6 +278,8 @@ func (v *VM) dirtyUnique(n int64) error {
 		return err
 	}
 	v.uniqueCursor += n
+	v.dirty.Gen++
+	v.dirty.RAMPages += n
 	return nil
 }
 

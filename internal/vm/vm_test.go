@@ -268,3 +268,81 @@ func TestZeroRAMRejected(t *testing.T) {
 		t.Fatal("zero-RAM VM accepted")
 	}
 }
+
+func TestDirtyStatsTrackMutations(t *testing.T) {
+	eng := sim.NewEngine(9)
+	host := mem.NewHost(0)
+	v := newTestVM(t, eng, host, "dirty0", guestos.RoleAnonVM)
+	if d := v.DirtyStats(); d.Gen != 0 {
+		t.Fatalf("pre-boot gen = %d, want 0", d.Gen)
+	}
+	eng.Go("drive", func(p *sim.Proc) {
+		if err := v.Boot(p); err != nil {
+			t.Errorf("boot: %v", err)
+			return
+		}
+		booted := v.DirtyStats()
+		if booted.Gen == 0 || booted.RAMPages == 0 {
+			t.Errorf("boot left no dirt: %+v", booted)
+		}
+		// Workload dirtying advances the generation and the page count.
+		if err := v.DirtyPages(64); err != nil {
+			t.Errorf("dirty: %v", err)
+		}
+		after := v.DirtyStats()
+		if after.Gen <= booted.Gen {
+			t.Errorf("gen did not advance: %d -> %d", booted.Gen, after.Gen)
+		}
+		if got := after.RAMPages - booted.RAMPages; got != 64 {
+			t.Errorf("RAM pages dirtied = %d, want 64", got)
+		}
+		// A disk write of new bytes churns DiskBytes; rewriting the
+		// identical content is not a mutation.
+		if err := v.Disk().WriteFile("/tmp/f", []byte("abcdef")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		wrote := v.DirtyStats()
+		if wrote.DiskBytes-after.DiskBytes != 6 || wrote.Gen <= after.Gen {
+			t.Errorf("disk write not tracked: %+v -> %+v", after, wrote)
+		}
+		if err := v.Disk().WriteFile("/tmp/f", []byte("abcdef")); err != nil {
+			t.Errorf("rewrite: %v", err)
+		}
+		if got := v.DirtyStats(); got != wrote {
+			t.Errorf("identical rewrite mutated dirty stats: %+v -> %+v", wrote, got)
+		}
+		// A same-length rewrite with DIFFERENT bytes changes the disk
+		// image a checkpoint would export, even though the size delta
+		// is zero — it must read as a mutation.
+		if err := v.Disk().WriteFile("/tmp/f", []byte("ABCDEF")); err != nil {
+			t.Errorf("in-place rewrite: %v", err)
+		}
+		inPlace := v.DirtyStats()
+		if inPlace.Gen <= wrote.Gen || inPlace.DiskBytes <= wrote.DiskBytes {
+			t.Errorf("same-size content rewrite not tracked: %+v -> %+v", wrote, inPlace)
+		}
+		// Deleting a file that lives only in a lower layer is a pure
+		// whiteout: zero byte delta, but the exported image changes —
+		// a crash-restore that missed it would resurrect the file.
+		var lowerPath string
+		topName := v.Disk().Name() + "/writable"
+		for _, info := range v.Disk().FS().List("/") {
+			if info.Layer != topName {
+				lowerPath = info.Path
+				break
+			}
+		}
+		if lowerPath == "" {
+			t.Error("test setup: no lower-layer file to remove")
+			return
+		}
+		before := v.DirtyStats()
+		if err := v.Disk().Remove(lowerPath); err != nil {
+			t.Errorf("remove: %v", err)
+		}
+		if got := v.DirtyStats(); got.Gen <= before.Gen {
+			t.Errorf("whiteout-only deletion of %s not tracked: %+v -> %+v", lowerPath, before, got)
+		}
+	})
+	eng.Run()
+}
