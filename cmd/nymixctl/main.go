@@ -15,6 +15,7 @@
 //	nymixctl [-seed N] [-nyms N] cluster   # shard a fleet across hosts and live-migrate a nym
 //	nymixctl [-seed N] [-nyms N] elastic   # autoscale the pool through a burst, preempt for a VIP, drain to the floor
 //	nymixctl [-seed N] [-nyms N] sweeps    # run the checkpoint sweep scheduler; watch incremental sweeps converge
+//	nymixctl [-seed N] [-nyms N] status    # exercise crash/sweep/migration machinery, dump the typed SLO report
 //	nymixctl scrub <file.jpg>   # run the SaniVM scrubbing suite on a real file
 package main
 
@@ -33,6 +34,7 @@ import (
 	"nymix/internal/installedos"
 	"nymix/internal/sanitize"
 	"nymix/internal/sim"
+	"nymix/internal/slo"
 	"nymix/internal/webworld"
 )
 
@@ -65,6 +67,11 @@ func main() {
 		}
 	case "sweeps":
 		if err := sweepsDemo(*seed, *nyms); err != nil {
+			fmt.Fprintf(os.Stderr, "nymixctl: %v\n", err)
+			os.Exit(1)
+		}
+	case "status":
+		if err := statusDemo(*seed, *nyms); err != nil {
 			fmt.Fprintf(os.Stderr, "nymixctl: %v\n", err)
 			os.Exit(1)
 		}
@@ -592,4 +599,106 @@ func sweepsDemo(seed uint64, n int) error {
 	})
 	eng.Run()
 	return demoErr
+}
+
+// statusDemo exercises the whole failure surface on a live cluster —
+// a sharded ramp, scheduled sweeps, an injected nymbox crash, a
+// cross-host migration — then dumps the typed SLO report: every
+// recorded failure bucketed by its registered nymerr code, ramp and
+// sweep latency percentiles, machinery rates, and checkpoint wire
+// budgets.
+func statusDemo(seed uint64, n int) error {
+	if n < 4 {
+		n = 4
+	}
+	eng := sim.NewEngine(seed)
+	_, world := webworld.BuildDefault(eng)
+	cfg := experiments.ShardClusterConfig(2, cluster.LeastReserved{})
+	cfg.Fleet = fleet.Config{Restart: fleet.DefaultRestartPolicy()}
+	c, err := cluster.New(eng, world, cfg)
+	if err != nil {
+		return err
+	}
+	say := func(format string, args ...interface{}) {
+		fmt.Printf("[t=%8.1fs] "+format+"\n", append([]interface{}{eng.Now().Seconds()}, args...)...)
+	}
+	var demoErr error
+	eng.Go("status-demo", func(p *sim.Proc) {
+		say("ramping %d nyms across %d hosts", n, len(c.Hosts()))
+		if err := c.LaunchAll(experiments.FleetSpecs(n)); err != nil {
+			demoErr = err
+			return
+		}
+		if err := c.AwaitRunning(p, n); err != nil {
+			demoErr = err
+			return
+		}
+		if err := c.StartSweeps(cluster.SweepConfig{Interval: 20 * time.Second}); err != nil {
+			demoErr = err
+			return
+		}
+		say("%d running; sweep coordinator started", c.Running())
+		p.Sleep(45 * time.Second)
+
+		// Inject a nymbox crash: the restart machinery revives the nym
+		// and the failure lands in the report as fleet.crash_injected.
+		var victim string
+		for _, h := range c.Hosts() {
+			for _, m := range h.Fleet().Members() {
+				if m.State() == fleet.StateRunning {
+					victim = m.Name()
+					break
+				}
+			}
+			if victim != "" {
+				break
+			}
+		}
+		if err := c.HostOf(victim).Fleet().FailNym(p, victim, nil); err != nil {
+			demoErr = err
+			return
+		}
+		say("injected a crash into %s; waiting for its restart", victim)
+		if err := c.AwaitRunning(p, n); err != nil {
+			demoErr = err
+			return
+		}
+
+		// Move one nym across hosts through the vault.
+		mover := ""
+		for _, h := range c.Hosts() {
+			for _, m := range h.Fleet().Members() {
+				if m.State() == fleet.StateRunning && m.Nym() != nil && m.Nym().Model() == core.ModelPersistent {
+					mover = m.Name()
+					break
+				}
+			}
+			if mover != "" {
+				break
+			}
+		}
+		dst := c.Hosts()[0]
+		if c.HostOf(mover) == dst {
+			dst = c.Hosts()[1]
+		}
+		if _, err := c.MigrateNym(p, mover, dst.Name()); err != nil {
+			demoErr = err
+			return
+		}
+		say("migrated %s to %s via the vault", mover, dst.Name())
+		p.Sleep(30 * time.Second)
+		c.StopSweeps()
+		c.AwaitSweepsIdle(p)
+		if err := c.StopAll(p); err != nil {
+			demoErr = err
+			return
+		}
+		say("cluster drained; rendering the SLO report")
+	})
+	eng.Run()
+	if demoErr != nil {
+		return demoErr
+	}
+	fmt.Print(slo.FromCluster(c).Render())
+	return nil
 }

@@ -8,19 +8,12 @@
 package cloud
 
 import (
-	"errors"
 	"fmt"
 
 	"nymix/internal/anonnet"
+	"nymix/internal/nymerr"
 	"nymix/internal/sim"
 	"nymix/internal/vnet"
-)
-
-// Errors.
-var (
-	ErrAuth     = errors.New("cloud: authentication failed")
-	ErrNotFound = errors.New("cloud: blob not found")
-	ErrNoSpace  = errors.New("cloud: quota exceeded")
 )
 
 // Blob is one stored object. Data carries the real (encrypted) bytes;
@@ -140,7 +133,8 @@ func Login(p *sim.Proc, anon anonnet.Anonymizer, pr *Provider, user, password st
 	if _, err := anon.Fetch(p, anonnet.Request{
 		SiteNode: pr.NodeName(), SendBytes: 4096, RecvBytes: loginExchangeBytes,
 	}); err != nil {
-		return nil, fmt.Errorf("cloud: login exchange: %w", err)
+		return nil, nymerr.Wrap(CodeProviderUnreachable, err, "login exchange").
+			AddContext("provider", pr.name)
 	}
 	pr.RoundTrips++
 	acct, err := pr.auth(user, password)
@@ -171,7 +165,8 @@ func (s *Session) Put(p *sim.Proc, name string, blob Blob) error {
 	if _, err := s.anon.Fetch(p, anonnet.Request{
 		SiteNode: s.provider.NodeName(), SendBytes: blob.WireSize, RecvBytes: 2048,
 	}); err != nil {
-		return fmt.Errorf("cloud: upload: %w", err)
+		return nymerr.Wrap(CodeProviderUnreachable, err, "upload").
+			AddContext("provider", s.provider.name).AddContext("blob", name)
 	}
 	s.provider.RoundTrips++
 	if old, ok := s.acct.blobs[name]; ok {
@@ -223,7 +218,8 @@ func (s *Session) PutBatch(p *sim.Proc, blobs map[string]Blob) error {
 	if _, err := s.anon.Fetch(p, anonnet.Request{
 		SiteNode: s.provider.NodeName(), SendBytes: send, RecvBytes: 2048,
 	}); err != nil {
-		return fmt.Errorf("cloud: batch upload: %w", err)
+		return nymerr.Wrap(CodeProviderUnreachable, err, "batch upload").
+			AddContext("provider", s.provider.name).AddContext("blobs", len(blobs))
 	}
 	s.provider.RoundTrips++
 	for name, b := range blobs {
@@ -257,7 +253,8 @@ func (s *Session) GetBatch(p *sim.Proc, names []string) (map[string]Blob, error)
 	if _, err := s.anon.Fetch(p, anonnet.Request{
 		SiteNode: s.provider.NodeName(), SendBytes: 2048, RecvBytes: recv,
 	}); err != nil {
-		return nil, fmt.Errorf("cloud: batch download: %w", err)
+		return nil, nymerr.Wrap(CodeProviderUnreachable, err, "batch download").
+			AddContext("provider", s.provider.name).AddContext("blobs", len(names))
 	}
 	s.provider.RoundTrips++
 	out := make(map[string]Blob, len(names))
@@ -287,7 +284,8 @@ func (s *Session) Get(p *sim.Proc, name string) (Blob, error) {
 	if _, err := s.anon.Fetch(p, anonnet.Request{
 		SiteNode: s.provider.NodeName(), SendBytes: 2048, RecvBytes: blob.WireSize,
 	}); err != nil {
-		return Blob{}, fmt.Errorf("cloud: download: %w", err)
+		return Blob{}, nymerr.Wrap(CodeProviderUnreachable, err, "download").
+			AddContext("provider", s.provider.name).AddContext("blob", name)
 	}
 	s.provider.RoundTrips++
 	blob.Data = append([]byte(nil), blob.Data...)

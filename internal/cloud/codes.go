@@ -1,0 +1,32 @@
+package cloud
+
+import "nymix/internal/nymerr"
+
+// Registered error codes for the cloud layer. Every error the package
+// returns classifies to one of these (nymerr.Classify).
+var (
+	// CodeBadCredentials: the account does not exist or the password
+	// does not match.
+	CodeBadCredentials = nymerr.Register("cloud.bad_credentials",
+		"cloud account missing or password mismatch")
+	// CodeBlobMissing: the named blob does not exist on the provider.
+	CodeBlobMissing = nymerr.Register("cloud.blob_missing",
+		"named blob does not exist on the provider")
+	// CodeQuotaExceeded: the write would exceed the account's quota;
+	// nothing was stored.
+	CodeQuotaExceeded = nymerr.Register("cloud.quota_exceeded",
+		"write would exceed the account's storage quota")
+	// CodeProviderUnreachable: the anonymized exchange with the
+	// provider failed in transit (circuit, DNS, link).
+	CodeProviderUnreachable = nymerr.Register("cloud.provider_unreachable",
+		"anonymized exchange with the provider failed in transit")
+)
+
+// Errors: typed sentinels, kept as errors.Is targets for existing
+// callers. Each carries its registered code, so any %w chain built on
+// top of one classifies without further wrapping.
+var (
+	ErrAuth     = nymerr.New(CodeBadCredentials, "cloud: authentication failed")
+	ErrNotFound = nymerr.New(CodeBlobMissing, "cloud: blob not found")
+	ErrNoSpace  = nymerr.New(CodeQuotaExceeded, "cloud: quota exceeded")
+)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nymix/internal/fleet"
+	"nymix/internal/nymerr"
 	"nymix/internal/sim"
 )
 
@@ -252,7 +253,7 @@ func (c *Cluster) Cordon(name string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownHost, name)
 	}
 	if h.state != HostActive {
-		return fmt.Errorf("cluster: host %q is %v, not cordonable", name, h.state)
+		return nymerr.Newf(CodeHostIneligible, "cluster: host %q is %v, not cordonable", name, h.state)
 	}
 	h.state = HostCordoned
 	c.logScale("cordon", h.name)
@@ -267,7 +268,7 @@ func (c *Cluster) Uncordon(name string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownHost, name)
 	}
 	if h.state != HostCordoned {
-		return fmt.Errorf("cluster: host %q is %v, not cordoned", name, h.state)
+		return nymerr.Newf(CodeHostIneligible, "cluster: host %q is %v, not cordoned", name, h.state)
 	}
 	h.state = HostActive
 	c.onChange() // the queue may dispatch onto it again
@@ -286,20 +287,20 @@ func (c *Cluster) RetireHost(p *sim.Proc, name string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownHost, name)
 	}
 	if h.state != HostActive && h.state != HostCordoned {
-		return fmt.Errorf("cluster: host %q is %v, not retirable", name, h.state)
+		return nymerr.Newf(CodeHostIneligible, "cluster: host %q is %v, not retirable", name, h.state)
 	}
 	if c.ActiveHosts() <= 1 && h.state == HostActive {
-		return fmt.Errorf("cluster: refusing to retire the last active host %q", name)
+		return nymerr.Newf(CodeLastActiveHost, "cluster: refusing to retire the last active host %q", name)
 	}
 	if c.draining {
-		return fmt.Errorf("cluster: another drain is already in flight")
+		return nymerr.New(CodeDrainConflict, "cluster: another drain is already in flight")
 	}
 	c.draining = true
 	ok := c.retireHost(p, h)
 	c.draining = false
 	c.onChange()
 	if !ok {
-		return fmt.Errorf("cluster: drain of %q aborted: the pool cannot absorb its nyms", name)
+		return nymerr.Newf(CodeDrainStuck, "cluster: drain of %q aborted: the pool cannot absorb its nyms", name)
 	}
 	return nil
 }

@@ -9,16 +9,10 @@ import (
 	"nymix/internal/core"
 	"nymix/internal/fleet"
 	"nymix/internal/hypervisor"
+	"nymix/internal/nymerr"
 	"nymix/internal/sim"
 	"nymix/internal/vnet"
 	"nymix/internal/webworld"
-)
-
-// Errors.
-var (
-	ErrUnknownHost    = errors.New("cluster: unknown host")
-	ErrUnknownNym     = errors.New("cluster: unknown nym")
-	ErrNeverPlaceable = errors.New("cluster: footprint exceeds every host's admissible RAM")
 )
 
 // ClusterUplink is the default per-host uplink: a datacenter-grade
@@ -238,6 +232,7 @@ type Cluster struct {
 	sweepTokensHeld    int
 	sweepInFlight      int
 	slotLog            []SweepSlot
+	sweepErrs          []error
 }
 
 // New builds a cluster of cfg.Hosts hosts on the world, sharing one
@@ -417,7 +412,7 @@ func (c *Cluster) MigrationWireBytes() int64 { return c.migrationWire }
 // returns immediately; a footprint no host could ever admit fails now.
 func (c *Cluster) Launch(spec fleet.Spec) error {
 	if _, dup := c.specs[spec.Name]; dup {
-		return fmt.Errorf("cluster: nym %q already launched", spec.Name)
+		return nymerr.Newf(CodeDuplicateNym, "cluster: nym %q already launched", spec.Name)
 	}
 	fp := spec.Opts.Footprint()
 	feasible := false
@@ -557,7 +552,7 @@ func (c *Cluster) AwaitRunning(p *sim.Proc, target int) error {
 			return nil
 		}
 		if !c.anyPending() {
-			return fmt.Errorf("cluster: %d/%d running and nothing pending (%d failed)",
+			return nymerr.Newf(CodeRampDead, "cluster: %d/%d running and nothing pending (%d failed)",
 				c.Running(), target, c.countState(fleet.StateFailed))
 		}
 		c.parkOnChange(p)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nymix/internal/fleet"
+	"nymix/internal/nymerr"
 	"nymix/internal/sim"
 	"nymix/internal/vault"
 )
@@ -49,7 +50,7 @@ func (c *Cluster) MigrateNym(p *sim.Proc, name, dstHost string) (MigrationReport
 		return MigrationReport{}, fmt.Errorf("%w: %q", ErrUnknownHost, dstHost)
 	}
 	if dst == src {
-		return MigrationReport{}, fmt.Errorf("cluster: %q already runs on %s", name, dstHost)
+		return MigrationReport{}, nymerr.Newf(CodeAlreadyPlaced, "cluster: %q already runs on %s", name, dstHost)
 	}
 	m := src.orch.Member(name)
 	if m == nil {
@@ -58,7 +59,7 @@ func (c *Cluster) MigrateNym(p *sim.Proc, name, dstHost string) (MigrationReport
 	// One migration per nym at a time: a user-initiated move racing a
 	// rebalance pass must lose cleanly, not fight over the teardown.
 	if c.migrating[name] {
-		return MigrationReport{}, fmt.Errorf("cluster: %q is already migrating", name)
+		return MigrationReport{}, nymerr.Newf(CodeMigrateConflict, "cluster: %q is already migrating", name)
 	}
 	c.migrating[name] = true
 	defer delete(c.migrating, name)
@@ -76,7 +77,12 @@ func (c *Cluster) MigrateNym(p *sim.Proc, name, dstHost string) (MigrationReport
 	}
 	cp, ok := m.Checkpoint()
 	if !ok {
-		return rep, fmt.Errorf("cluster: migrate %q: no vault checkpoint to carry (save failed: %v)", name, saveErr)
+		// Keep the save failure in the wrap chain: %v here would strip
+		// the typed cause (a vault.bad_password is not a cloud outage).
+		if saveErr != nil {
+			return rep, nymerr.Wrapf(CodeMigrateLost, saveErr, "cluster: migrate %q: no vault checkpoint to carry", name)
+		}
+		return rep, nymerr.Newf(CodeMigrateLost, "cluster: migrate %q: no vault checkpoint to carry", name)
 	}
 
 	// 2. Tear down on the source and detach. The member may be
@@ -96,7 +102,7 @@ func (c *Cluster) MigrateNym(p *sim.Proc, name, dstHost string) (MigrationReport
 		if errors.Is(err, fleet.ErrUnknownMember) {
 			// The member vanished under us — cannot happen while the
 			// migrating guard holds, but never loop forever on it.
-			return rep, errors.Join(fmt.Errorf("cluster: migrate %q: member disappeared mid-migration", name), stopErr)
+			return rep, errors.Join(nymerr.Newf(CodeMigrateLost, "cluster: migrate %q: member disappeared mid-migration", name), stopErr)
 		}
 		sim.Await(p, src.orch.ChangeFuture())
 	}
@@ -115,7 +121,8 @@ func (c *Cluster) MigrateNym(p *sim.Proc, name, dstHost string) (MigrationReport
 		c.migrationWire += rep.WireBytes
 		c.enqueue(pendingLaunch{spec: spec, pri: spec.EffectivePriority(), cp: &cp})
 		return rep, errors.Join(
-			fmt.Errorf("cluster: migrate %q to %s: %w (re-queued from the vault checkpoint)", name, dst.name, cause),
+			nymerr.Wrapf(CodeMigrateCrashFallback, cause,
+				"cluster: migrate %q to %s (re-queued from the vault checkpoint)", name, dst.name),
 			stopErr)
 	}
 	dm, err := dst.orch.LaunchRestored(spec, cp)

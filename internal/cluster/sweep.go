@@ -15,17 +15,18 @@ package cluster
 // wire on state the drain is about to save again.
 
 import (
-	"errors"
+	"fmt"
 	"time"
 
 	"nymix/internal/core"
 	"nymix/internal/fleet"
+	"nymix/internal/nymerr"
 	"nymix/internal/sim"
 )
 
 // ErrSweepsRunning is returned by StartSweeps when a coordinator is
 // already installed.
-var ErrSweepsRunning = errors.New("cluster: sweep coordinator already running")
+var ErrSweepsRunning = nymerr.New(CodeSweepsRunning, "cluster: sweep coordinator already running")
 
 // SweepConfig parameterizes the cluster sweep coordinator. Zero
 // values take defaults.
@@ -160,6 +161,13 @@ func (c *Cluster) SweepSlots() []SweepSlot {
 	return append([]SweepSlot(nil), c.slotLog...)
 }
 
+// SweepErrors returns every error a coordinator slot pass produced, in
+// completion order. Empty in healthy runs; chaos suites assert each
+// entry classifies to a registered code.
+func (c *Cluster) SweepErrors() []error {
+	return append([]error(nil), c.sweepErrs...)
+}
+
 // SweepReport aggregates the slot log.
 func (c *Cluster) SweepReport() ClusterSweepReport {
 	rep := ClusterSweepReport{
@@ -255,13 +263,20 @@ func (c *Cluster) sweepSlot(p *sim.Proc, cfg *SweepConfig, round, slot int, h *H
 	c.sweepTokensHeld++
 	start := p.Now()
 	destFor := cfg.DestFor
-	rec, _ := h.orch.SweepOnce(p, fleet.SweepConfig{
+	rec, err := h.orch.SweepOnce(p, fleet.SweepConfig{
 		Password:    cfg.Password,
 		DestFor:     func(m *fleet.Member) core.VaultDest { return destFor(m.Name()) },
 		Stagger:     cfg.Stagger,
 		Concurrency: cfg.Concurrency,
 		SaveAll:     cfg.SaveAll,
 	})
+	if err != nil {
+		// The per-save failures are already in the host orchestrator's
+		// logs, but the coordinator must not drop them: a provider quota
+		// blowing up every slot would otherwise read as a healthy round
+		// with a low save count.
+		c.sweepErrs = append(c.sweepErrs, fmt.Errorf("cluster: sweep slot %s round %d: %w", h.name, round, err))
+	}
 	c.sweepTokensHeld--
 	c.slotLog = append(c.slotLog, SweepSlot{
 		Round: round, Slot: slot, Host: h.name,

@@ -8,6 +8,7 @@ import (
 
 	"nymix/internal/core"
 	"nymix/internal/fleet"
+	"nymix/internal/nymerr"
 	"nymix/internal/sim"
 	"nymix/internal/vm"
 )
@@ -129,6 +130,56 @@ func TestClusterSweepPausesCordonedHost(t *testing.T) {
 			t.Errorf("stop: %v", err)
 		}
 	})
+}
+
+// Regression: a slot pass whose saves all fail used to vanish — the
+// coordinator dropped SweepOnce's error on the floor, so a dead
+// provider read as a healthy round with a low save count. The
+// coordinator now keeps every slot failure, typed.
+func TestClusterSweepSlotRecordsSaveFailures(t *testing.T) {
+	eng, c := newCluster(t, 29, 2, 4<<30, Config{})
+	run(t, eng, func(p *sim.Proc) {
+		if err := c.LaunchAll(specs(4, core.ModelPersistent)); err != nil {
+			t.Errorf("launch: %v", err)
+			return
+		}
+		if err := c.AwaitRunning(p, 4); err != nil {
+			t.Errorf("await: %v", err)
+			return
+		}
+		// Point every save at a provider that doesn't exist: each
+		// host's pass fails wholesale.
+		if err := c.StartSweeps(SweepConfig{
+			Interval: 10 * time.Second, SaveAll: true,
+			DestFor: func(name string) core.VaultDest {
+				return core.VaultDest{Providers: []string{"nowhere"}, Account: name, AccountPassword: "p"}
+			},
+		}); err != nil {
+			t.Errorf("start sweeps: %v", err)
+			return
+		}
+		p.Sleep(25 * time.Second)
+		c.StopSweeps()
+		c.AwaitSweepsIdle(p)
+		if err := c.StopAll(p); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	})
+	errs := c.SweepErrors()
+	if len(errs) == 0 {
+		t.Fatal("coordinator swallowed the failed slot passes")
+	}
+	for _, err := range errs {
+		if !errors.Is(err, core.ErrNoProvider) {
+			t.Errorf("slot error lost its cause: %v", err)
+		}
+		if nymerr.Classify(err) != core.CodeUnknownProvider {
+			t.Errorf("slot error classified %q, want %s: %v", nymerr.Classify(err), core.CodeUnknownProvider, err)
+		}
+	}
+	if rep := c.SweepReport(); rep.Errors == 0 {
+		t.Errorf("report errors = 0 despite %d failed slots", len(errs))
+	}
 }
 
 // TestSweepsInterleaveCrashMigrationPreemption is the hardening pass:
@@ -263,4 +314,26 @@ func TestSweepsInterleaveCrashMigrationPreemption(t *testing.T) {
 			t.Errorf("stop: %v", err)
 		}
 	})
+
+	// Every failure the chaos run recorded — crash, sweep, eviction,
+	// stop — must classify to a registered code: the SLO taxonomy's
+	// zero-unclassified invariant.
+	recorded := 0
+	for _, h := range append(c.Hosts(), c.RetiredHosts()...) {
+		for _, rec := range h.Fleet().Failures() {
+			recorded++
+			if rec.Code == "" || !nymerr.Registered(rec.Code) {
+				t.Errorf("host %s: unclassified failure (member %s, op %s): %v",
+					h.Name(), rec.Member, rec.Op, rec.Err)
+			}
+		}
+	}
+	if recorded == 0 {
+		t.Error("chaos run recorded no failures; the crash injection never landed")
+	}
+	for _, err := range c.SweepErrors() {
+		if nymerr.Classify(err) == "" {
+			t.Errorf("untyped cluster sweep error: %v", err)
+		}
+	}
 }

@@ -1,0 +1,67 @@
+package core
+
+import "nymix/internal/nymerr"
+
+// Registered error codes for the nym-manager layer. Lower layers
+// (hypervisor, vm, nymstate) keep their own sentinels in the wrap
+// chain; the core code is the classification boundary every caller
+// above (fleet, cluster) can rely on.
+var (
+	// CodeNymExists: a nym with that name is already running or
+	// mid-launch.
+	CodeNymExists = nymerr.Register("core.nym_exists",
+		"nym with that name is already running or mid-launch")
+	// CodeNymTerminated: the operation targeted a nym that is already
+	// torn down.
+	CodeNymTerminated = nymerr.Register("core.nym_terminated",
+		"operation targeted a nym that is already torn down")
+	// CodeUnknownAnonymizer: the options name an anonymizer kind the
+	// manager cannot build.
+	CodeUnknownAnonymizer = nymerr.Register("core.unknown_anonymizer",
+		"options name an anonymizer kind the manager cannot build")
+	// CodeUnknownProvider: the destination names a cloud provider the
+	// manager does not know.
+	CodeUnknownProvider = nymerr.Register("core.unknown_provider",
+		"destination names a cloud provider the manager does not know")
+	// CodeHostTampered: the host partition failed Merkle verification;
+	// the manager refuses to launch (paper section 3.4).
+	CodeHostTampered = nymerr.Register("core.host_tampered",
+		"host partition failed integrity verification; launches refused")
+	// CodeLaunchRejected: the hypervisor could not create or wire the
+	// nymbox (RAM admission, duplicate VM names).
+	CodeLaunchRejected = nymerr.Register("core.launch_rejected",
+		"hypervisor could not create or wire the nymbox")
+	// CodeBootCrashed: a nymbox VM failed its guest boot (e.g. the
+	// host OOM wall on an oversubscribed ramp).
+	CodeBootCrashed = nymerr.Register("core.boot_crashed",
+		"nymbox VM failed its guest boot")
+	// CodeBadRestore: archived disk state could not be written back
+	// into the fresh nymbox.
+	CodeBadRestore = nymerr.Register("core.bad_restore",
+		"archived disk state could not be restored into the nymbox")
+	// CodeAnonymizerStalled: the nym's communication tool failed to
+	// bootstrap.
+	CodeAnonymizerStalled = nymerr.Register("core.anonymizer_stalled",
+		"nym's communication tool failed to bootstrap")
+	// CodeTeardownIncomplete: TerminateNym retired the nym but one or
+	// both VM destroys reported trouble.
+	CodeTeardownIncomplete = nymerr.Register("core.teardown_incomplete",
+		"nym retired but a VM destroy reported trouble")
+	// CodeNoLocalArchive: no archive for the nym exists on local media.
+	CodeNoLocalArchive = nymerr.Register("core.no_local_archive",
+		"no archive for the nym exists on local media")
+	// CodeNoVaultProviders: a vault destination named zero providers.
+	CodeNoVaultProviders = nymerr.Register("core.no_vault_providers",
+		"vault destination named zero providers")
+)
+
+// Errors: typed sentinels kept as errors.Is targets for existing
+// callers.
+var (
+	ErrNymExists     = nymerr.New(CodeNymExists, "core: nym already running")
+	ErrNymTerminated = nymerr.New(CodeNymTerminated, "core: nym terminated")
+	ErrUnknownAnon   = nymerr.New(CodeUnknownAnonymizer, "core: unknown anonymizer")
+	ErrNoProvider    = nymerr.New(CodeUnknownProvider, "core: unknown cloud provider")
+	ErrHostTampered  = nymerr.New(CodeHostTampered,
+		"core: host partition failed integrity verification; refusing to launch nyms")
+)

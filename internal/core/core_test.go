@@ -11,6 +11,7 @@ import (
 	"nymix/internal/guestos"
 	"nymix/internal/hypervisor"
 	"nymix/internal/installedos"
+	"nymix/internal/nymerr"
 	"nymix/internal/sanitize"
 	"nymix/internal/sim"
 	"nymix/internal/unionfs"
@@ -258,6 +259,34 @@ func TestLoadNymWrongPassword(t *testing.T) {
 	// The failed loader must not leak a running nym.
 	if m.RunningNyms() != 0 {
 		t.Fatalf("running nyms = %d", m.RunningNyms())
+	}
+}
+
+// Regression: when the cloud-load path fails after its throwaway
+// loader nymbox is up, the loader must be torn down (not left pinning
+// host RAM) and the primary failure must keep its typed code through
+// the teardown join.
+func TestLoadNymUnknownProviderTearsDownLoader(t *testing.T) {
+	eng, m := newManager(t)
+	var loadErr error
+	run(t, eng, func(p *sim.Proc) {
+		_, loadErr = m.LoadNym(p, "ghost", "pw", Options{},
+			StoreDest{Provider: "no-such-cloud", Account: "a", AccountPassword: "c"})
+	})
+	if loadErr == nil {
+		t.Fatal("load from an unknown provider succeeded")
+	}
+	if !errors.Is(loadErr, ErrNoProvider) {
+		t.Fatalf("error lost the ErrNoProvider sentinel: %v", loadErr)
+	}
+	if nymerr.Classify(loadErr) != CodeUnknownProvider {
+		t.Fatalf("classified %q, want %s: %v", nymerr.Classify(loadErr), CodeUnknownProvider, loadErr)
+	}
+	if m.RunningNyms() != 0 {
+		t.Fatalf("running nyms = %d; the loader leaked", m.RunningNyms())
+	}
+	if got := m.Host().VMCount(); got != 0 {
+		t.Fatalf("host VMs = %d; the loader's VM pair leaked", got)
 	}
 }
 

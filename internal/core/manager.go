@@ -29,6 +29,7 @@ import (
 	"nymix/internal/cloud"
 	"nymix/internal/guestos"
 	"nymix/internal/hypervisor"
+	"nymix/internal/nymerr"
 	"nymix/internal/sim"
 	"nymix/internal/vault"
 	"nymix/internal/vm"
@@ -44,15 +45,6 @@ const (
 	ModelEphemeral     UsageModel = "ephemeral"
 	ModelPersistent    UsageModel = "persistent"
 	ModelPreconfigured UsageModel = "preconfigured"
-)
-
-// Errors.
-var (
-	ErrNymExists     = errors.New("core: nym already running")
-	ErrNymTerminated = errors.New("core: nym terminated")
-	ErrUnknownAnon   = errors.New("core: unknown anonymizer")
-	ErrNoProvider    = errors.New("core: unknown cloud provider")
-	ErrHostTampered  = errors.New("core: host partition failed integrity verification; refusing to launch nyms")
 )
 
 // Options parameterizes a new nym.
@@ -372,7 +364,7 @@ func (m *Manager) startNym(p *sim.Proc, name string, opts Options, restore *rest
 		RAMBytes: opts.AnonRAM, DiskBytes: opts.AnonDisk, Anonymizer: opts.Anonymizer,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nymerr.Wrap(CodeLaunchRejected, err, "launch AnonVM").AddContext("nym", name)
 	}
 	commVM, err := m.host.LaunchVM(vm.Config{
 		Name: commName, Role: guestos.RoleCommVM,
@@ -380,7 +372,7 @@ func (m *Manager) startNym(p *sim.Proc, name string, opts Options, restore *rest
 	})
 	if err != nil {
 		m.host.DestroyVM(p, anonVM)
-		return nil, err
+		return nil, nymerr.Wrap(CodeLaunchRejected, err, "launch CommVM").AddContext("nym", name)
 	}
 	// From here on every error path must tear down the half-built
 	// nymbox; the deferred guard makes leaking it impossible by
@@ -393,7 +385,7 @@ func (m *Manager) startNym(p *sim.Proc, name string, opts Options, restore *rest
 		}
 	}()
 	if err := m.host.WireNymbox(anonVM, commVM); err != nil {
-		return nil, err
+		return nil, nymerr.Wrap(CodeLaunchRejected, err, "wire nymbox").AddContext("nym", name)
 	}
 
 	// Boot both VMs in parallel; the phase is the slower of the two.
@@ -404,10 +396,10 @@ func (m *Manager) startNym(p *sim.Proc, name string, opts Options, restore *rest
 	sim.Await(p, anonDone)
 	sim.Await(p, commDone)
 	if anonErr != nil {
-		return nil, fmt.Errorf("core: boot AnonVM: %w", anonErr)
+		return nil, nymerr.Wrap(CodeBootCrashed, anonErr, "boot AnonVM").AddContext("nym", name)
 	}
 	if commErr != nil {
-		return nil, fmt.Errorf("core: boot CommVM: %w", commErr)
+		return nil, nymerr.Wrap(CodeBootCrashed, commErr, "boot CommVM").AddContext("nym", name)
 	}
 	bootDur := p.Now() - bootStart
 
@@ -415,10 +407,10 @@ func (m *Manager) startNym(p *sim.Proc, name string, opts Options, restore *rest
 	// its cached state.
 	if restore != nil {
 		if err := anonVM.Disk().Restore(restore.state.AnonDisk); err != nil {
-			return nil, fmt.Errorf("core: restore AnonVM disk: %w", err)
+			return nil, nymerr.Wrap(CodeBadRestore, err, "restore AnonVM disk").AddContext("nym", name)
 		}
 		if err := commVM.Disk().Restore(restore.state.CommDisk); err != nil {
-			return nil, fmt.Errorf("core: restore CommVM disk: %w", err)
+			return nil, nymerr.Wrap(CodeBadRestore, err, "restore CommVM disk").AddContext("nym", name)
 		}
 	}
 
@@ -431,7 +423,8 @@ func (m *Manager) startNym(p *sim.Proc, name string, opts Options, restore *rest
 	}
 	anonStart := p.Now()
 	if err := anon.Start(p); err != nil {
-		return nil, fmt.Errorf("core: start %s: %w", anon.Name(), err)
+		return nil, nymerr.Wrapf(CodeAnonymizerStalled, err, "start %s", anon.Name()).
+			AddContext("nym", name)
 	}
 	anonDur := p.Now() - anonStart
 
@@ -580,7 +573,7 @@ func (m *Manager) TerminateNym(p *sim.Proc, n *Nym) error {
 	n.terminated = true
 	delete(m.nyms, n.name)
 	if err := errors.Join(anonErr, commErr); err != nil {
-		return fmt.Errorf("core: terminate %q: %w", n.name, err)
+		return nymerr.Wrapf(CodeTeardownIncomplete, err, "terminate %q", n.name)
 	}
 	return nil
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"nymix/internal/anonnet"
 	"nymix/internal/cloud"
+	"nymix/internal/nymerr"
 	"nymix/internal/nymstate"
 	"nymix/internal/sim"
 	"nymix/internal/vault"
@@ -182,7 +184,7 @@ func (m *Manager) LoadNym(p *sim.Proc, name, password string, opts Options, src 
 	if src.Provider == "" {
 		data, ok := m.localStore[archiveBlobName(name)]
 		if !ok {
-			return nil, fmt.Errorf("core: no local archive for %q", name)
+			return nil, nymerr.Newf(CodeNoLocalArchive, "no local archive for %q", name)
 		}
 		raw = data
 	} else {
@@ -195,20 +197,21 @@ func (m *Manager) LoadNym(p *sim.Proc, name, password string, opts Options, src 
 		if err != nil {
 			return nil, fmt.Errorf("core: ephemeral loader: %w", err)
 		}
+		// On every failure below the loader teardown's own error joins
+		// the primary one instead of being dropped: a destroy that
+		// failed leaves the throwaway nymbox pinning host RAM, which
+		// the caller must see.
 		pr, err := m.Provider(src.Provider)
 		if err != nil {
-			m.TerminateNym(p, loader)
-			return nil, err
+			return nil, errors.Join(err, m.TerminateNym(p, loader))
 		}
 		sess, err := cloud.Login(p, loader.Anonymizer(), pr, src.Account, src.AccountPassword)
 		if err != nil {
-			m.TerminateNym(p, loader)
-			return nil, err
+			return nil, errors.Join(err, m.TerminateNym(p, loader))
 		}
 		blob, err := sess.Get(p, archiveBlobName(name))
 		if err != nil {
-			m.TerminateNym(p, loader)
-			return nil, err
+			return nil, errors.Join(err, m.TerminateNym(p, loader))
 		}
 		if err := m.TerminateNym(p, loader); err != nil {
 			return nil, err
@@ -270,7 +273,7 @@ type VaultDest struct {
 // use.
 func (m *Manager) vaultSessions(p *sim.Proc, anon anonnet.Anonymizer, dest VaultDest) ([]*cloud.Session, error) {
 	if len(dest.Providers) == 0 {
-		return nil, fmt.Errorf("core: vault destination names no providers")
+		return nil, nymerr.New(CodeNoVaultProviders, "vault destination names no providers")
 	}
 	sessions := make([]*cloud.Session, 0, len(dest.Providers))
 	for _, name := range dest.Providers {
@@ -367,14 +370,12 @@ func (m *Manager) LoadNymVault(p *sim.Proc, name, password string, opts Options,
 	}
 	sessions, err := m.vaultSessions(p, loader.Anonymizer(), dest)
 	if err != nil {
-		m.TerminateNym(p, loader)
-		return nil, err
+		return nil, errors.Join(err, m.TerminateNym(p, loader))
 	}
 	vs := m.vaultStore(name, dest.Placement)
 	st, stats, err := vs.Load(p, password, sessions)
 	if err != nil {
-		m.TerminateNym(p, loader)
-		return nil, err
+		return nil, errors.Join(err, m.TerminateNym(p, loader))
 	}
 	if err := m.TerminateNym(p, loader); err != nil {
 		return nil, err

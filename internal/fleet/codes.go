@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"nymix/internal/nymerr"
+	"nymix/internal/sim"
+)
+
+// Registered error codes for the fleet layer. Failures surfacing from
+// core/vault/cloud arrive already typed; these codes cover the
+// orchestrator's own failure classes.
+var (
+	// CodeNeverAdmissible: the footprint exceeds the whole admissible
+	// RAM budget and could never launch.
+	CodeNeverAdmissible = nymerr.Register("fleet.never_admissible",
+		"requested footprint exceeds the whole admissible RAM budget")
+	// CodeUnknownMember: no member with that name is under supervision.
+	CodeUnknownMember = nymerr.Register("fleet.unknown_member",
+		"no member with that name is under fleet supervision")
+	// CodeNotRunning: the operation needs a Running member.
+	CodeNotRunning = nymerr.Register("fleet.not_running",
+		"operation targeted a member that is not Running")
+	// CodeNotDetachable: the member's nymbox is live; it must be
+	// stopped before detaching.
+	CodeNotDetachable = nymerr.Register("fleet.not_detachable",
+		"member's nymbox is live; stop it before detaching")
+	// CodeDuplicateMember: a member with that name was already
+	// launched.
+	CodeDuplicateMember = nymerr.Register("fleet.duplicate_member",
+		"a member with that name was already launched")
+	// CodeCrashInjected: a chaos test or experiment killed the nymbox
+	// via FailNym.
+	CodeCrashInjected = nymerr.Register("fleet.crash_injected",
+		"nymbox killed by injected failure (chaos testing)")
+	// CodeOversizedReservation: a semaphore reservation exceeds total
+	// capacity and would wedge the queue.
+	CodeOversizedReservation = nymerr.Register("fleet.oversized_reservation",
+		"reservation exceeds total semaphore capacity")
+	// CodeTargetInfeasible: AwaitRunning asked for more simultaneous
+	// members than the RAM budget can hold.
+	CodeTargetInfeasible = nymerr.Register("fleet.target_infeasible",
+		"await target exceeds what the RAM budget can hold at once")
+	// CodeRampDead: nothing is pending and the running count cannot
+	// reach the await target.
+	CodeRampDead = nymerr.Register("fleet.ramp_dead",
+		"no launches pending and the running target is unreachable")
+	// CodeAdmissionStalled: the admission queue's FIFO head needs more
+	// RAM than will ever free without external action.
+	CodeAdmissionStalled = nymerr.Register("fleet.admission_stalled",
+		"admission queue stalled; the FIFO head needs RAM nothing will free")
+	// CodeSweepsRunning: a sweep scheduler is already installed.
+	CodeSweepsRunning = nymerr.Register("fleet.sweeps_running",
+		"a checkpoint sweep scheduler is already installed")
+	// CodeSweepUnconfigured: StartSweeps lacked Password or DestFor.
+	CodeSweepUnconfigured = nymerr.Register("fleet.sweep_unconfigured",
+		"sweep scheduler started without Password or DestFor")
+	// CodeEvictBusy: the eviction victim has a checkpoint in flight.
+	CodeEvictBusy = nymerr.Register("fleet.evict_busy",
+		"eviction victim has a checkpoint in flight")
+)
+
+// Errors: typed sentinels kept as errors.Is targets for existing
+// callers.
+var (
+	ErrNeverAdmissible = nymerr.New(CodeNeverAdmissible, "fleet: requested footprint exceeds admissible host RAM")
+	ErrUnknownMember   = nymerr.New(CodeUnknownMember, "fleet: unknown member")
+	ErrNotRunning      = nymerr.New(CodeNotRunning, "fleet: member not running")
+	ErrNotDetachable   = nymerr.New(CodeNotDetachable, "fleet: member not detachable while its nymbox is live")
+)
+
+// FailureRecord is one classified failure in a member's history: what
+// failed, when, and under which registered code. The orchestrator
+// appends a record wherever a member-scoped error surfaces (launch
+// attempts, injected crashes, sweep saves, evictions), and the SLO
+// layer buckets the log by code.
+type FailureRecord struct {
+	At     sim.Time
+	Member string
+	// Op names the operation that failed: "launch", "crash", "sweep",
+	// "evict", "stop".
+	Op   string
+	Code nymerr.Code // "" only if an unclassified error slipped through
+	Err  error
+}
+
+// Failures returns the orchestrator's failure history in record
+// order. Chaos suites assert every record classifies to a registered
+// code; the SLO report buckets them per member.
+func (o *Orchestrator) Failures() []FailureRecord {
+	return append([]FailureRecord(nil), o.failures...)
+}
+
+// recordFailure appends one classified failure to the history.
+func (o *Orchestrator) recordFailure(member, op string, err error) {
+	if err == nil {
+		return
+	}
+	o.failures = append(o.failures, FailureRecord{
+		At:     o.eng.Now(),
+		Member: member,
+		Op:     op,
+		Code:   nymerr.Classify(err),
+		Err:    err,
+	})
+}

@@ -7,16 +7,9 @@ import (
 	"time"
 
 	"nymix/internal/core"
+	"nymix/internal/nymerr"
 	"nymix/internal/sim"
 	"nymix/internal/vault"
-)
-
-// Errors.
-var (
-	ErrNeverAdmissible = errors.New("fleet: requested footprint exceeds admissible host RAM")
-	ErrUnknownMember   = errors.New("fleet: unknown member")
-	ErrNotRunning      = errors.New("fleet: member not running")
-	ErrNotDetachable   = errors.New("fleet: member not detachable while its nymbox is live")
 )
 
 // RestartPolicy bounds how persistently the fleet revives a failing
@@ -314,6 +307,11 @@ type Orchestrator struct {
 	sweepRecs  []SweepRecord
 	sweepErrs  []error
 
+	// failures is the classified failure history (codes.go): one record
+	// per member-scoped error surface, bucketed by code in the SLO
+	// report.
+	failures []FailureRecord
+
 	peakRAMBytes int64
 }
 
@@ -410,7 +408,7 @@ func (o *Orchestrator) Running() int { return o.CountState(StateRunning) }
 // budget fails now instead of queueing forever.
 func (o *Orchestrator) Launch(spec Spec) (*Member, error) {
 	if _, dup := o.members[spec.Name]; dup {
-		return nil, fmt.Errorf("fleet: member %q already launched", spec.Name)
+		return nil, nymerr.Newf(CodeDuplicateMember, "fleet: member %q already launched", spec.Name)
 	}
 	m := &Member{
 		spec:      spec,
@@ -425,6 +423,7 @@ func (o *Orchestrator) Launch(spec Spec) (*Member, error) {
 			ErrNeverAdmissible, spec.Name, m.footprint, o.ram.capacity)
 		o.members[spec.Name] = m
 		o.order = append(o.order, spec.Name)
+		o.recordFailure(spec.Name, "launch", m.lastErr)
 		return m, m.lastErr
 	}
 	o.members[spec.Name] = m
@@ -503,6 +502,7 @@ func (o *Orchestrator) runLaunch(p *sim.Proc, m *Member) {
 			// Oversized for the whole budget — Launch pre-checks this, so
 			// only a shrunken budget could trip it; fail, don't wedge.
 			m.lastErr = err
+			o.recordFailure(m.spec.Name, "launch", err)
 			o.setState(m, StateFailed)
 			return
 		}
@@ -534,6 +534,7 @@ func (o *Orchestrator) runLaunch(p *sim.Proc, m *Member) {
 		}
 		o.ram.release(m.footprint)
 		m.lastErr = err
+		o.recordFailure(m.spec.Name, "launch", err)
 		if m.restarts >= o.cfg.Restart.MaxRestarts {
 			o.setState(m, StateFailed)
 			return
@@ -560,9 +561,14 @@ func (o *Orchestrator) FailNym(p *sim.Proc, name string, cause error) error {
 		return fmt.Errorf("%w: %q is %v", ErrNotRunning, name, m.state)
 	}
 	if cause == nil {
-		cause = errors.New("fleet: injected failure")
+		cause = nymerr.New(CodeCrashInjected, "fleet: injected failure")
+	} else {
+		// Caller-supplied causes classify too: the injected failure is
+		// the outermost code, the original cause stays errors.Is-able.
+		cause = nymerr.Wrap(CodeCrashInjected, cause, "fleet: injected failure")
 	}
 	m.lastErr = cause
+	o.recordFailure(name, "crash", cause)
 	// Transition the member before any yield: the teardown below parks
 	// this process for whole wipe durations, and concurrent observers
 	// (a second FailNym, a SaveSweep mid-stagger) must never see a
@@ -598,18 +604,18 @@ func (o *Orchestrator) FailNym(p *sim.Proc, name string, cause error) error {
 // could ever make progress.
 func (o *Orchestrator) AwaitRunning(p *sim.Proc, target int) error {
 	if max := o.maxSimultaneous(); target > max {
-		return fmt.Errorf("fleet: target %d exceeds the %d nyms the RAM budget can hold at once", target, max)
+		return nymerr.Newf(CodeTargetInfeasible, "fleet: target %d exceeds the %d nyms the RAM budget can hold at once", target, max)
 	}
 	for {
 		if o.Running() >= target {
 			return nil
 		}
 		if !o.anyPending() {
-			return fmt.Errorf("fleet: %d/%d running and no launches pending (%d failed)",
+			return nymerr.Newf(CodeRampDead, "fleet: %d/%d running and no launches pending (%d failed)",
 				o.Running(), target, o.CountState(StateFailed))
 		}
 		if o.queueStalled() {
-			return fmt.Errorf("fleet: %d/%d running and %d launches stalled in the admission queue (the FIFO head needs more RAM than remains free)",
+			return nymerr.Newf(CodeAdmissionStalled, "fleet: %d/%d running and %d launches stalled in the admission queue (the FIFO head needs more RAM than remains free)",
 				o.Running(), target, o.ram.queued())
 		}
 		o.parkOnChange(p)
@@ -813,6 +819,7 @@ func (o *Orchestrator) Stop(p *sim.Proc, name string) error {
 	m.nym = nil
 	o.setState(m, StateStopping)
 	err := o.mgr.TerminateNym(p, nym)
+	o.recordFailure(name, "stop", err)
 	o.ram.release(m.footprint)
 	o.setState(m, StateStopped)
 	return err
@@ -871,6 +878,7 @@ func (o *Orchestrator) StopAll(p *sim.Proc) error {
 		_, err := sim.Await(p, f)
 		if err != nil {
 			errs = append(errs, err)
+			o.recordFailure(stopping[i].spec.Name, "stop", err)
 		}
 		m := stopping[i]
 		o.ram.release(m.footprint)

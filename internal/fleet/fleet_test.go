@@ -10,6 +10,7 @@ import (
 	"nymix/internal/cpusched"
 	"nymix/internal/guestos"
 	"nymix/internal/hypervisor"
+	"nymix/internal/nymerr"
 	"nymix/internal/sim"
 	"nymix/internal/unionfs"
 	"nymix/internal/vnet"
@@ -215,6 +216,23 @@ func TestRestartPolicyRevivesInjectedFailure(t *testing.T) {
 	if got := o.Manager().Host().VMCount(); got != 4 {
 		t.Fatalf("host VMs = %d, want 4", got)
 	}
+	// All three injected crashes are in the failure log, and every
+	// record classifies to a registered code.
+	recs := o.Failures()
+	if len(recs) != 3 {
+		t.Fatalf("failure log has %d records, want 3 injected crashes: %+v", len(recs), recs)
+	}
+	for _, rec := range recs {
+		if rec.Code != CodeCrashInjected {
+			t.Fatalf("record classified %q, want %s: %v", rec.Code, CodeCrashInjected, rec.Err)
+		}
+		if !nymerr.Registered(rec.Code) {
+			t.Fatalf("code %q not in the registry", rec.Code)
+		}
+		if rec.Member != victim.Name() {
+			t.Fatalf("record for %q, want %q", rec.Member, victim.Name())
+		}
+	}
 }
 
 func TestRestartPolicyRetriesFailedStart(t *testing.T) {
@@ -412,6 +430,12 @@ func TestSaveSweepSurvivesMidSweepCrash(t *testing.T) {
 	}
 	if got := o.Member("nym01").State(); got != StateFailed {
 		t.Fatalf("crashed member state = %v", got)
+	}
+	// The crash-under-sweep interleaving left nothing unclassified.
+	for _, rec := range o.Failures() {
+		if nymerr.Classify(rec.Err) == "" {
+			t.Fatalf("unclassified failure (member %s, op %s): %v", rec.Member, rec.Op, rec.Err)
+		}
 	}
 }
 

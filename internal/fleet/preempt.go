@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nymix/internal/core"
+	"nymix/internal/nymerr"
 	"nymix/internal/sim"
 )
 
@@ -177,7 +178,7 @@ func (o *Orchestrator) preemptMember(p *sim.Proc, m *Member) error {
 		return fmt.Errorf("%w: %q is %v", ErrNotRunning, m.spec.Name, m.state)
 	}
 	if m.saving != nil {
-		return fmt.Errorf("fleet: evict %q: checkpoint in flight", m.spec.Name)
+		return nymerr.Newf(CodeEvictBusy, "fleet: evict %q: checkpoint in flight", m.spec.Name)
 	}
 	durable := durableModel(m.nym.Model())
 	if durable {
@@ -188,7 +189,9 @@ func (o *Orchestrator) preemptMember(p *sim.Proc, m *Member) error {
 		o.releaseClaim(m, claim)
 		if err != nil {
 			// An unsaveable member is not evictable; leave it running.
-			return fmt.Errorf("fleet: evict %q: %w", m.spec.Name, err)
+			werr := fmt.Errorf("fleet: evict %q: %w", m.spec.Name, err)
+			o.recordFailure(m.spec.Name, "evict", werr)
+			return werr
 		}
 		m.checkpoint = &Checkpoint{Password: o.cfg.Preempt.VaultPassword, Dest: dest}
 	}
@@ -201,6 +204,7 @@ func (o *Orchestrator) preemptMember(p *sim.Proc, m *Member) error {
 	m.nym = nil
 	o.setState(m, StateStopping)
 	m.lastErr = o.mgr.TerminateNym(p, nym) // best effort; the nym is retired regardless
+	o.recordFailure(m.spec.Name, "evict", m.lastErr)
 	o.ram.release(m.footprint)
 	o.setState(m, StatePreempted)
 	if durable {

@@ -3,13 +3,14 @@ package fleet
 import (
 	"fmt"
 
+	"nymix/internal/nymerr"
 	"nymix/internal/sim"
 )
 
 // ErrOversized is returned (on the reservation future) for a request
 // that exceeds the semaphore's total capacity: it could never be
 // granted, and letting it queue would wedge everyone behind it.
-var ErrOversized = fmt.Errorf("fleet: reservation exceeds semaphore capacity")
+var ErrOversized = nymerr.New(CodeOversizedReservation, "fleet: reservation exceeds semaphore capacity")
 
 // sem is a weighted semaphore native to the simulation: acquisition
 // returns a future the caller awaits, so oversubscribed requests queue

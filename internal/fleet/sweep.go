@@ -23,12 +23,13 @@ import (
 
 	"nymix/internal/cloud"
 	"nymix/internal/core"
+	"nymix/internal/nymerr"
 	"nymix/internal/sim"
 )
 
 // ErrSweepsRunning is returned by StartSweeps when a scheduler is
 // already installed.
-var ErrSweepsRunning = errors.New("fleet: sweep scheduler already running")
+var ErrSweepsRunning = nymerr.New(CodeSweepsRunning, "fleet: sweep scheduler already running")
 
 // saveClaim is one holder's claim on a member's in-flight save (see
 // Member.saving). Each claimant allocates its own token and releases
@@ -230,7 +231,7 @@ func (o *Orchestrator) StartSweeps(cfg SweepConfig) error {
 		return ErrSweepsRunning
 	}
 	if cfg.Password == "" || cfg.DestFor == nil {
-		return errors.New("fleet: sweep scheduler needs Password and DestFor")
+		return nymerr.New(CodeSweepUnconfigured, "fleet: sweep scheduler needs Password and DestFor")
 	}
 	cfg.fillDefaults(o.cfg)
 	o.sweepCfg = &cfg
@@ -409,7 +410,9 @@ func (o *Orchestrator) runSweep(p *sim.Proc, cfg SweepConfig) (SweepRecord, erro
 		o.releaseClaim(saved[i], claims[i])
 		if err != nil {
 			rec.Errors++
-			errs = append(errs, fmt.Errorf("fleet: save %q: %w", res.Nym, err))
+			werr := fmt.Errorf("fleet: save %q: %w", res.Nym, err)
+			errs = append(errs, werr)
+			o.recordFailure(res.Nym, "sweep", werr)
 			continue
 		}
 		rec.Saves++

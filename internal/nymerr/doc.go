@@ -1,0 +1,26 @@
+// Package nymerr provides registered, typed error codes for nymix.
+//
+// Every failure class in the managed layers (vault, fleet, cluster,
+// core, cloud) carries a Code of the form "package.name" —
+// vault.bad_password, cluster.migrate_crash_fallback — registered at
+// package init. Registration is fail-closed: a malformed or duplicate
+// code panics when the declaring package loads, and the constructors
+// (New, Newf, Wrap, Wrapf) panic on a code that was never registered,
+// so an unknown code cannot be minted at runtime.
+//
+// Typed errors interoperate with the standard errors package:
+//
+//   - errors.Is(err, SomeCode) matches the code anywhere in a chain,
+//     because Code itself is an error and (*Error).Is compares codes.
+//   - errors.As(err, &e) recovers the outermost *Error; CodeOf and
+//     Classify are shorthands for that traversal.
+//   - fmt.Errorf("…: %w", err) above a typed error preserves the
+//     code: Classify walks the %w chain.
+//
+// Each error captures its construction site automatically and can
+// carry ordered context pairs via AddContext; %+v renders the full
+// annotated chain. The SLO layer (internal/slo) buckets failure
+// histories by Classify, and the chaos suites assert that every
+// injected failure classifies to a registered code — zero
+// unclassified errors.
+package nymerr

@@ -1,0 +1,283 @@
+package nymerr
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Code is a registered "package.name" error code: the stable, typed
+// identity of a failure class. A Code is itself an error, so call
+// sites can match with errors.Is(err, vault.CodeBadPassword) and the
+// SLO layer can bucket failure histories by code without parsing
+// message strings.
+type Code string
+
+// Error makes a bare Code usable as an errors.Is target.
+func (c Code) Error() string { return string(c) }
+
+// codePattern is the shape every code must have: a lowercase package
+// segment, a dot, and a lowercase snake_case name segment.
+var codePattern = regexp.MustCompile(`^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$`)
+
+var (
+	regMu    sync.Mutex
+	registry = map[Code]string{}
+)
+
+// Register validates and records a code at package init time and
+// returns it, so consumer packages declare codes as
+//
+//	var CodeBadPassword = nymerr.Register("vault.bad_password", "…")
+//
+// Registration panics on a malformed code (wrong shape, uppercase,
+// hyphens, or a redundant err/error token) and on duplicates: an
+// unregistered or colliding code is a programming error caught the
+// first time the package is imported, not a runtime condition.
+func Register(code Code, doc string) Code {
+	if err := checkFormat(code); err != nil {
+		panic(fmt.Sprintf("nymerr: %v", err))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[code]; dup {
+		panic(fmt.Sprintf("nymerr: code %q registered twice", code))
+	}
+	registry[code] = doc
+	return code
+}
+
+// checkFormat enforces the code grammar without consulting the
+// registry: "package.name", both segments lowercase snake_case, and
+// no segment token spelling out err/error/failed — the type already
+// says it is an error, so the name must say what went wrong.
+func checkFormat(code Code) error {
+	if !codePattern.MatchString(string(code)) {
+		return fmt.Errorf("malformed code %q: want lowercase \"package.name\"", code)
+	}
+	for _, seg := range strings.Split(string(code), ".") {
+		for _, tok := range strings.Split(seg, "_") {
+			switch tok {
+			case "err", "error", "errors", "failure":
+				return fmt.Errorf("code %q: token %q is redundant in an error code", code, tok)
+			}
+		}
+	}
+	return nil
+}
+
+// Registered reports whether a code has been registered.
+func Registered(code Code) bool {
+	regMu.Lock()
+	defer regMu.Unlock()
+	_, ok := registry[code]
+	return ok
+}
+
+// Describe returns the registered one-line description of a code, or
+// "" for an unregistered code.
+func Describe(code Code) string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return registry[code]
+}
+
+// Codes returns every registered code in sorted order — the taxonomy
+// table DESIGN.md documents and the SLO report buckets by.
+func Codes() []Code {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Code, 0, len(registry))
+	for c := range registry {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// kv is one captured context pair, kept in attach order so rendered
+// errors are deterministic.
+type kv struct {
+	k string
+	v any
+}
+
+// Error is a typed nymix error: a registered code, a message, the
+// construction site (captured automatically), optional context pairs,
+// and an optional wrapped cause. It interoperates with the standard
+// errors package: Unwrap exposes the cause to errors.Is/As, and the
+// code survives arbitrary %w wrapping above it.
+type Error struct {
+	code  Code
+	msg   string
+	site  string
+	ctx   []kv
+	cause error
+}
+
+// mustRegistered panics when a constructor is handed a code that was
+// never registered — the same fail-closed posture as Register, caught
+// at the first construction rather than silently minting a new class.
+func mustRegistered(code Code) {
+	if !Registered(code) {
+		panic(fmt.Sprintf("nymerr: code %q used without registration", code))
+	}
+}
+
+// callerSite captures file:line of the constructor's caller — the
+// automatic context every typed error carries.
+func callerSite() string {
+	_, file, line, ok := runtime.Caller(2)
+	if !ok {
+		return "unknown"
+	}
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// New builds a typed error with a registered code.
+func New(code Code, msg string) *Error {
+	mustRegistered(code)
+	return &Error{code: code, msg: msg, site: callerSite()}
+}
+
+// Newf builds a typed error with a formatted message.
+func Newf(code Code, format string, args ...any) *Error {
+	mustRegistered(code)
+	return &Error{code: code, msg: fmt.Sprintf(format, args...), site: callerSite()}
+}
+
+// Wrap attaches a registered code (and message) to a cause. The cause
+// stays reachable through errors.Is/As; Classify reports the
+// outermost code, so wrapping re-classifies an error at a package
+// boundary while preserving the inner chain.
+func Wrap(code Code, cause error, msg string) *Error {
+	mustRegistered(code)
+	return &Error{code: code, msg: msg, site: callerSite(), cause: cause}
+}
+
+// Wrapf is Wrap with a formatted message.
+func Wrapf(code Code, cause error, format string, args ...any) *Error {
+	mustRegistered(code)
+	return &Error{code: code, msg: fmt.Sprintf(format, args...), site: callerSite(), cause: cause}
+}
+
+// AddContext attaches one key/value pair and returns the error for
+// chaining at the construction site:
+//
+//	nymerr.Wrap(code, err, "save").AddContext("nym", name)
+func (e *Error) AddContext(key string, value any) *Error {
+	e.ctx = append(e.ctx, kv{key, value})
+	return e
+}
+
+// Code returns the error's registered code.
+func (e *Error) Code() Code { return e.code }
+
+// Site returns the file:line the error was constructed at.
+func (e *Error) Site() string { return e.site }
+
+// Context returns the attached context pairs as a map.
+func (e *Error) Context() map[string]any {
+	if len(e.ctx) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(e.ctx))
+	for _, p := range e.ctx {
+		out[p.k] = p.v
+	}
+	return out
+}
+
+// Error renders "code: msg (k=v, k=v): cause".
+func (e *Error) Error() string {
+	var b strings.Builder
+	b.WriteString(string(e.code))
+	if e.msg != "" {
+		b.WriteString(": ")
+		b.WriteString(e.msg)
+	}
+	if len(e.ctx) > 0 {
+		b.WriteString(" (")
+		for i, p := range e.ctx {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s=%v", p.k, p.v)
+		}
+		b.WriteString(")")
+	}
+	if e.cause != nil {
+		b.WriteString(": ")
+		b.WriteString(e.cause.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the cause to the standard errors traversal.
+func (e *Error) Unwrap() error { return e.cause }
+
+// Is matches a bare Code target by code equality and another *Error
+// target by code equality, so both errors.Is(err, CodeBadPassword)
+// and errors.Is(err, vault.ErrNoManifest) hold anywhere in a chain.
+func (e *Error) Is(target error) bool {
+	switch t := target.(type) {
+	case Code:
+		return e.code == t
+	case *Error:
+		return e.code == t.code
+	}
+	return false
+}
+
+// Format implements fmt.Formatter: %v/%s render Error(), %+v adds the
+// construction site of every typed error in the chain.
+func (e *Error) Format(s fmt.State, verb rune) {
+	if verb == 'v' && s.Flag('+') {
+		fmt.Fprintf(s, "%s [%s]", e.msg, e.site)
+		if len(e.ctx) > 0 {
+			fmt.Fprint(s, " (")
+			for i, p := range e.ctx {
+				if i > 0 {
+					fmt.Fprint(s, ", ")
+				}
+				fmt.Fprintf(s, "%s=%v", p.k, p.v)
+			}
+			fmt.Fprint(s, ")")
+		}
+		fmt.Fprintf(s, " <%s>", e.code)
+		if e.cause != nil {
+			fmt.Fprintf(s, ": %+v", e.cause)
+		}
+		return
+	}
+	fmt.Fprint(s, e.Error())
+}
+
+// CodeOf returns the outermost registered code in err's chain.
+func CodeOf(err error) (Code, bool) {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.code, true
+	}
+	return "", false
+}
+
+// Classify returns the outermost registered code in err's chain, or
+// "" when the error carries no typed code anywhere — the condition
+// the chaos suites assert never happens on an injected failure.
+func Classify(err error) Code {
+	c, _ := CodeOf(err)
+	return c
+}
+
+// HasCode reports whether any error in the chain carries the code.
+func HasCode(err error, code Code) bool {
+	return errors.Is(err, code)
+}

@@ -1,0 +1,196 @@
+package nymerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Test codes registered once for the whole file; Register panics on
+// duplicates, so each code appears in exactly one call.
+var (
+	codeThing  = Register("testpkg.bad_thing", "a thing went bad")
+	codeOther  = Register("testpkg.other_thing", "another thing")
+	codeRemote = Register("otherpkg.remote_thing", "a different package's code")
+)
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic, got none", what)
+		}
+	}()
+	fn()
+}
+
+// TestRegisterRejectsMalformed pins the code grammar: lowercase
+// package.name, snake_case, no err/error tokens, no duplicates.
+func TestRegisterRejectsMalformed(t *testing.T) {
+	bad := []Code{
+		"",                    // empty
+		"noDot",               // missing package segment
+		"pkg.",                // empty name
+		".name",               // empty package
+		"Pkg.name",            // uppercase package
+		"pkg.Name",            // uppercase name
+		"pkg.bad-thing",       // hyphen
+		"pkg.name.extra",      // too many segments
+		"pkg.err",             // redundant token
+		"pkg.save_error",      // redundant token
+		"error.thing",         // redundant package
+		"pkg.startup_failure", // redundant token
+		"1pkg.name",           // leading digit
+	}
+	for _, c := range bad {
+		mustPanic(t, fmt.Sprintf("Register(%q)", c), func() { Register(c, "doc") })
+	}
+	mustPanic(t, "duplicate registration", func() { Register("testpkg.bad_thing", "again") })
+}
+
+// TestConstructorsRejectUnregistered pins the fail-closed posture:
+// New/Newf/Wrap/Wrapf on a code that was never registered panics
+// instead of silently minting a new failure class.
+func TestConstructorsRejectUnregistered(t *testing.T) {
+	ghost := Code("testpkg.never_registered")
+	mustPanic(t, "New", func() { New(ghost, "boom") })
+	mustPanic(t, "Newf", func() { Newf(ghost, "boom %d", 1) })
+	mustPanic(t, "Wrap", func() { Wrap(ghost, errors.New("x"), "boom") })
+	mustPanic(t, "Wrapf", func() { Wrapf(ghost, errors.New("x"), "boom %d", 1) })
+	if Registered(ghost) {
+		t.Fatal("ghost code leaked into the registry")
+	}
+}
+
+func TestRegistryIntrospection(t *testing.T) {
+	if !Registered(codeThing) {
+		t.Fatal("registered code not found")
+	}
+	if Describe(codeThing) != "a thing went bad" {
+		t.Fatalf("Describe = %q", Describe(codeThing))
+	}
+	codes := Codes()
+	for i := 1; i < len(codes); i++ {
+		if codes[i-1] >= codes[i] {
+			t.Fatalf("Codes() not sorted: %q before %q", codes[i-1], codes[i])
+		}
+	}
+	found := false
+	for _, c := range codes {
+		if c == codeThing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Codes() misses a registered code")
+	}
+}
+
+// TestIsAsInterop pins the standard-library interop: errors.Is
+// matches bare codes and typed sentinels, errors.As recovers the
+// typed error, and causes stay reachable through Unwrap.
+func TestIsAsInterop(t *testing.T) {
+	cause := errors.New("disk on fire")
+	err := Wrap(codeThing, cause, "save failed").AddContext("nym", "alice")
+
+	if !errors.Is(err, codeThing) {
+		t.Fatal("errors.Is(err, code) should match")
+	}
+	if errors.Is(err, codeOther) {
+		t.Fatal("errors.Is should not match a different code")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("the wrapped cause should stay reachable")
+	}
+
+	// Sentinel-style: two errors with the same code match each other.
+	sentinel := New(codeThing, "bad thing")
+	if !errors.Is(err, sentinel) {
+		t.Fatal("same-code typed errors should match")
+	}
+
+	var te *Error
+	if !errors.As(err, &te) {
+		t.Fatal("errors.As should recover *Error")
+	}
+	if te.Code() != codeThing {
+		t.Fatalf("recovered code %q, want %q", te.Code(), codeThing)
+	}
+	if te.Context()["nym"] != "alice" {
+		t.Fatalf("context lost: %v", te.Context())
+	}
+	if !strings.Contains(te.Site(), "nymerr_test.go:") {
+		t.Fatalf("site not captured: %q", te.Site())
+	}
+}
+
+// TestCodeSurvivesWrappingChains pins the property the whole design
+// stands on: a code attached deep in one package survives arbitrary
+// %w wrapping by layers above it, across package-boundary-style
+// re-wraps, and Classify reports the outermost code.
+func TestCodeSurvivesWrappingChains(t *testing.T) {
+	root := New(codeRemote, "remote failed")
+	mid := fmt.Errorf("mid layer: %w", root)
+	upper := fmt.Errorf("upper layer: retry %d: %w", 3, mid)
+
+	if got := Classify(upper); got != codeRemote {
+		t.Fatalf("Classify through %%w chain = %q, want %q", got, codeRemote)
+	}
+	if !HasCode(upper, codeRemote) {
+		t.Fatal("HasCode should find the buried code")
+	}
+
+	// A boundary re-wrap with a new code re-classifies (outermost code
+	// wins) while the inner code stays matchable.
+	rewrapped := Wrapf(codeThing, upper, "local view of remote trouble")
+	if got := Classify(rewrapped); got != codeThing {
+		t.Fatalf("Classify after re-wrap = %q, want %q", got, codeThing)
+	}
+	if !HasCode(rewrapped, codeRemote) {
+		t.Fatal("inner code should survive a boundary re-wrap")
+	}
+	topped := fmt.Errorf("top: %w", rewrapped)
+	if got := Classify(topped); got != codeThing {
+		t.Fatalf("Classify above re-wrap = %q, want %q", got, codeThing)
+	}
+}
+
+// TestClassifyUnclassified pins the zero value: a plain error chain
+// with no typed member classifies to "".
+func TestClassifyUnclassified(t *testing.T) {
+	err := fmt.Errorf("outer: %w", errors.New("inner"))
+	if got := Classify(err); got != "" {
+		t.Fatalf("Classify(untyped) = %q, want \"\"", got)
+	}
+	if _, ok := CodeOf(err); ok {
+		t.Fatal("CodeOf(untyped) should report !ok")
+	}
+	if Classify(nil) != "" {
+		t.Fatal("Classify(nil) should be \"\"")
+	}
+}
+
+// TestRendering pins the human-facing formats: %v is compact
+// "code: msg (ctx): cause", %+v adds construction sites.
+func TestRendering(t *testing.T) {
+	cause := New(codeRemote, "remote failed")
+	err := Wrap(codeThing, cause, "save failed").
+		AddContext("nym", "alice").AddContext("attempt", 2)
+
+	got := err.Error()
+	want := "testpkg.bad_thing: save failed (nym=alice, attempt=2): otherpkg.remote_thing: remote failed"
+	if got != want {
+		t.Fatalf("Error() = %q\nwant      %q", got, want)
+	}
+	verbose := fmt.Sprintf("%+v", err)
+	if !strings.Contains(verbose, "nymerr_test.go:") {
+		t.Fatalf("%%+v should include sites: %q", verbose)
+	}
+	if !strings.Contains(verbose, "<testpkg.bad_thing>") || !strings.Contains(verbose, "<otherpkg.remote_thing>") {
+		t.Fatalf("%%+v should include every code in the chain: %q", verbose)
+	}
+	if fmt.Sprintf("%v", err) != got || fmt.Sprintf("%s", err) != got {
+		t.Fatalf("plain %%v and %%s should match Error()")
+	}
+}

@@ -1,0 +1,315 @@
+package slo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"nymix/internal/cluster"
+	"nymix/internal/fleet"
+	"nymix/internal/nymerr"
+	"nymix/internal/sim"
+)
+
+// FailureCount is one bucket of the failure taxonomy: how many
+// recorded failures classified to a code.
+type FailureCount struct {
+	Code  nymerr.Code
+	Count int
+}
+
+// MemberHealth is one member's slice of the report: where it runs and
+// its failure history bucketed by code. Only members with a non-empty
+// history appear.
+type MemberHealth struct {
+	Member   string
+	Host     string // "" in a single-orchestrator report
+	Failures []FailureCount
+}
+
+// Report is the fleet-wide SLO snapshot: the restart, sweep, and
+// migration machinery aggregated into one typed structure. nymixctl
+// status renders it; the chaos suites assert Unclassified == 0 on it.
+type Report struct {
+	At sim.Time // simulated timestamp of the snapshot
+
+	// Pool shape. A single-orchestrator report is a one-host pool.
+	Hosts        int
+	ActiveHosts  int
+	RetiredHosts int
+
+	// Member population.
+	Members int
+	Running int
+	Failed  int
+
+	// Failure taxonomy over every recorded FailureRecord.
+	TotalFailures  int
+	Unclassified   int // records whose error carried no registered code
+	FailuresByCode []FailureCount
+	MemberHealth   []MemberHealth // host order, then name order within a host
+
+	// Ramp latency: admission queue entry to Running, nearest-rank
+	// percentiles over members that reached Running at least once.
+	RampP50 time.Duration
+	RampP95 time.Duration
+	RampMax time.Duration
+
+	// Restart / preemption / migration machinery: absolute counts and
+	// events per simulated hour.
+	Restarts       int
+	Preempted      fleet.PreemptStats
+	Migrations     int
+	RestartRate    float64
+	PreemptionRate float64
+	MigrationRate  float64
+
+	// Checkpoint sweep machinery.
+	Sweeps          int
+	SweepBackoffs   int
+	SweepErrors     int
+	DirtySkipRatio  float64
+	SweepLatencyP50 time.Duration
+	SweepLatencyP95 time.Duration
+	// Staleness: gaps between consecutive completed sweep passes — how
+	// stale a checkpoint is allowed to get under backoff pressure.
+	StalenessP50 time.Duration
+	StalenessMax time.Duration
+
+	// Checkpoint wire budgets: bytes actually shipped vs what
+	// monolithic re-uploads would have cost, plus migration traffic.
+	CheckpointWireBytes     int64
+	CheckpointBaselineBytes int64
+	MigrationWireBytes      int64
+}
+
+// WireSavings is the fraction of the monolithic baseline the
+// incremental checkpoint path avoided shipping.
+func (r Report) WireSavings() float64 {
+	if r.CheckpointBaselineBytes == 0 {
+		return 0
+	}
+	return 1 - float64(r.CheckpointWireBytes)/float64(r.CheckpointBaselineBytes)
+}
+
+// FromFleet snapshots one orchestrator as a one-host pool.
+func FromFleet(o *fleet.Orchestrator) Report {
+	b := builder{}
+	b.r.At = o.Manager().Engine().Now()
+	b.r.Hosts, b.r.ActiveHosts = 1, 1
+	b.addMembers("", o.Members(), nil)
+	b.addFailures("", o.Failures())
+	b.addSweeps(o.SweepReport())
+	b.r.Preempted = o.Preemptions()
+	return b.finish()
+}
+
+// FromCluster snapshots the whole pool, retired hosts included: their
+// failure histories and sweep telemetry are part of the run even
+// though the hosts no longer take placements.
+func FromCluster(c *cluster.Cluster) Report {
+	st := c.Snapshot()
+	b := builder{}
+	b.r.Hosts, b.r.ActiveHosts, b.r.RetiredHosts = st.Hosts, st.ActiveHosts, st.RetiredHosts
+	b.r.Migrations = st.Migrations
+	b.r.Preempted = st.Preempted
+	b.r.MigrationWireBytes = st.MigrationWireBytes
+	hosts := append(c.Hosts(), c.RetiredHosts()...)
+	if len(hosts) > 0 {
+		b.r.At = hosts[0].Manager().Engine().Now()
+	}
+	for _, h := range hosts {
+		// Cluster ramp latency runs from cluster-wide queue entry, not
+		// host-side admission: time parked in the cluster queue is
+		// latency the user saw.
+		b.addMembers(h.Name(), h.Fleet().Members(), c.LaunchedAt)
+		b.addFailures(h.Name(), h.Fleet().Failures())
+		b.addSweeps(h.Fleet().SweepReport())
+	}
+	b.r.SweepErrors += len(c.SweepErrors())
+	return b.finish()
+}
+
+// builder accumulates raw samples across hosts before the percentile
+// and rate math in finish.
+type builder struct {
+	r         Report
+	ramps     []time.Duration
+	sweepLats []time.Duration
+	passAts   []sim.Time
+	eligible  int
+	skips     int
+}
+
+func (b *builder) addMembers(host string, members []*fleet.Member, launchedAt func(string) (sim.Time, bool)) {
+	for _, m := range members {
+		b.r.Members++
+		switch m.State() {
+		case fleet.StateRunning:
+			b.r.Running++
+		case fleet.StateFailed:
+			b.r.Failed++
+		}
+		b.r.Restarts += m.Restarts()
+		if m.RunningAt() > 0 {
+			start := m.QueuedAt()
+			if launchedAt != nil {
+				if t, ok := launchedAt(m.Name()); ok {
+					start = t
+				}
+			}
+			if lat := m.RunningAt() - start; lat >= 0 {
+				b.ramps = append(b.ramps, lat)
+			}
+		}
+	}
+}
+
+func (b *builder) addFailures(host string, recs []fleet.FailureRecord) {
+	byMember := map[string]map[nymerr.Code]int{}
+	for _, rec := range recs {
+		b.r.TotalFailures++
+		if rec.Code == "" {
+			b.r.Unclassified++
+		}
+		if byMember[rec.Member] == nil {
+			byMember[rec.Member] = map[nymerr.Code]int{}
+		}
+		byMember[rec.Member][rec.Code]++
+	}
+	names := make([]string, 0, len(byMember))
+	for name := range byMember {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b.r.MemberHealth = append(b.r.MemberHealth, MemberHealth{
+			Member:   name,
+			Host:     host,
+			Failures: sortedCounts(byMember[name]),
+		})
+	}
+}
+
+func (b *builder) addSweeps(rep fleet.SweepReport) {
+	b.r.Sweeps += rep.Sweeps
+	b.r.SweepBackoffs += rep.Backoffs
+	b.r.SweepErrors += rep.Errors
+	b.eligible += rep.Eligible
+	b.skips += rep.Skips
+	b.r.CheckpointWireBytes += rep.WireBytes()
+	b.r.CheckpointBaselineBytes += rep.BaselineBytes
+	for _, rec := range rep.Records {
+		if rec.BackedOff {
+			continue
+		}
+		b.sweepLats = append(b.sweepLats, rec.Elapsed)
+		b.passAts = append(b.passAts, rec.At)
+	}
+}
+
+// finish folds the accumulated samples into percentiles and rates.
+func (b *builder) finish() Report {
+	r := &b.r
+	r.RampP50 = fleet.LatencyPercentile(b.ramps, 0.50)
+	r.RampP95 = fleet.LatencyPercentile(b.ramps, 0.95)
+	for _, d := range b.ramps {
+		if d > r.RampMax {
+			r.RampMax = d
+		}
+	}
+	r.SweepLatencyP50 = fleet.LatencyPercentile(b.sweepLats, 0.50)
+	r.SweepLatencyP95 = fleet.LatencyPercentile(b.sweepLats, 0.95)
+	if b.eligible > 0 {
+		r.DirtySkipRatio = float64(b.skips) / float64(b.eligible)
+	}
+	sort.Slice(b.passAts, func(i, j int) bool { return b.passAts[i] < b.passAts[j] })
+	var gaps []time.Duration
+	for i := 1; i < len(b.passAts); i++ {
+		gaps = append(gaps, b.passAts[i]-b.passAts[i-1])
+	}
+	r.StalenessP50 = fleet.LatencyPercentile(gaps, 0.50)
+	for _, g := range gaps {
+		if g > r.StalenessMax {
+			r.StalenessMax = g
+		}
+	}
+	if hours := r.At.Hours(); hours > 0 {
+		r.RestartRate = float64(r.Restarts) / hours
+		r.PreemptionRate = float64(r.Preempted.Total()) / hours
+		r.MigrationRate = float64(r.Migrations) / hours
+	}
+	totals := map[nymerr.Code]int{}
+	for _, mh := range r.MemberHealth {
+		for _, fc := range mh.Failures {
+			totals[fc.Code] += fc.Count
+		}
+	}
+	r.FailuresByCode = sortedCounts(totals)
+	return *r
+}
+
+// sortedCounts flattens a bucket map, descending count then code.
+func sortedCounts(m map[nymerr.Code]int) []FailureCount {
+	out := make([]FailureCount, 0, len(m))
+	for code, n := range m {
+		out = append(out, FailureCount{Code: code, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Code < out[j].Code
+	})
+	return out
+}
+
+// Render formats the report the way nymixctl status prints it.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SLO report @ %v\n", r.At)
+	fmt.Fprintf(&b, "  pool:        %d hosts (%d active, %d retired)\n",
+		r.Hosts, r.ActiveHosts, r.RetiredHosts)
+	fmt.Fprintf(&b, "  members:     %d (%d running, %d failed)\n",
+		r.Members, r.Running, r.Failed)
+	fmt.Fprintf(&b, "  ramp:        p50 %v  p95 %v  max %v\n",
+		r.RampP50, r.RampP95, r.RampMax)
+	fmt.Fprintf(&b, "  restarts:    %d (%.2f/h)   preemptions: %d (%.2f/h)   migrations: %d (%.2f/h)\n",
+		r.Restarts, r.RestartRate, r.Preempted.Total(), r.PreemptionRate, r.Migrations, r.MigrationRate)
+	fmt.Fprintf(&b, "  sweeps:      %d passes, %d backoffs, %d errors, dirty-skip %.0f%%\n",
+		r.Sweeps, r.SweepBackoffs, r.SweepErrors, 100*r.DirtySkipRatio)
+	fmt.Fprintf(&b, "  sweep lat:   p50 %v  p95 %v   staleness p50 %v  max %v\n",
+		r.SweepLatencyP50, r.SweepLatencyP95, r.StalenessP50, r.StalenessMax)
+	fmt.Fprintf(&b, "  ckpt wire:   %s shipped vs %s baseline (%.0f%% saved)   migration wire: %s\n",
+		fmtBytes(r.CheckpointWireBytes), fmtBytes(r.CheckpointBaselineBytes),
+		100*r.WireSavings(), fmtBytes(r.MigrationWireBytes))
+	fmt.Fprintf(&b, "  failures:    %d recorded, %d unclassified\n", r.TotalFailures, r.Unclassified)
+	for _, fc := range r.FailuresByCode {
+		fmt.Fprintf(&b, "    %-36s %d\n", string(fc.Code), fc.Count)
+	}
+	for _, mh := range r.MemberHealth {
+		loc := mh.Member
+		if mh.Host != "" {
+			loc = mh.Member + "@" + mh.Host
+		}
+		var parts []string
+		for _, fc := range mh.Failures {
+			parts = append(parts, fmt.Sprintf("%s x%d", fc.Code, fc.Count))
+		}
+		fmt.Fprintf(&b, "    %-20s %s\n", loc, strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

@@ -1,0 +1,48 @@
+package vault
+
+import "nymix/internal/nymerr"
+
+// Registered error codes for the vault layer. Lower-layer sentinels
+// (nymstate.ErrBadPassword, merkle.ErrTampered) stay in the wrap
+// chain for errors.Is compatibility; the vault code is what Classify
+// and the SLO report see.
+var (
+	// CodeBadPassword: a manifest exists but the password cannot
+	// authenticate it.
+	CodeBadPassword = nymerr.Register("vault.bad_password",
+		"manifest exists but the password cannot authenticate it")
+	// CodeTampered: a sealed blob failed authentication or an
+	// authenticated structure is internally inconsistent — the vault
+	// fails closed on any of it.
+	CodeTampered = nymerr.Register("vault.tampered",
+		"sealed blob failed authentication or committed structure is inconsistent")
+	// CodeNoManifest: no checkpoint exists for the nym at any provider.
+	CodeNoManifest = nymerr.Register("vault.no_manifest",
+		"no checkpoint manifest exists at any reachable provider")
+	// CodeNoSessions: the caller supplied no provider sessions.
+	CodeNoSessions = nymerr.Register("vault.no_sessions",
+		"vault operation invoked with zero provider sessions")
+	// CodeChunkMissing: the manifest references a chunk no provider
+	// delivered.
+	CodeChunkMissing = nymerr.Register("vault.chunk_missing",
+		"manifest references a chunk no provider delivered")
+	// CodeBadChunkName: a stored blob name does not parse as a chunk
+	// address.
+	CodeBadChunkName = nymerr.Register("vault.bad_chunk_name",
+		"stored blob name does not parse as a chunk address")
+	// CodeManifestProbe: the manifest could not even be looked for —
+	// every provider holding one failed the fetch, so "no manifest"
+	// cannot be concluded.
+	CodeManifestProbe = nymerr.Register("vault.manifest_probe",
+		"manifest fetch failed at every provider holding one; absence unproven")
+)
+
+// Errors: typed sentinels kept as errors.Is targets for existing
+// callers.
+var (
+	// ErrNoManifest means no checkpoint exists for the nym at any of
+	// the given providers.
+	ErrNoManifest = nymerr.New(CodeNoManifest, "vault: no manifest found")
+	// ErrNoSessions means the caller supplied no provider sessions.
+	ErrNoSessions = nymerr.New(CodeNoSessions, "vault: no provider sessions")
+)

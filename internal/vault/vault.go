@@ -17,18 +17,10 @@ import (
 
 	"nymix/internal/cloud"
 	"nymix/internal/merkle"
+	"nymix/internal/nymerr"
 	"nymix/internal/nymstate"
 	"nymix/internal/sim"
 	"nymix/internal/unionfs"
-)
-
-// Errors.
-var (
-	// ErrNoManifest means no checkpoint exists for the nym at any of
-	// the given providers.
-	ErrNoManifest = errors.New("vault: no manifest found")
-	// ErrNoSessions means the caller supplied no provider sessions.
-	ErrNoSessions = errors.New("vault: no provider sessions")
 )
 
 // Addr is a keyed content address: HMAC-SHA256 over a chunk's content
@@ -159,7 +151,7 @@ func (ks keys) sealChunk(gcm cipher.AEAD, addr Addr, data []byte) []byte {
 func (ks keys) openChunk(gcm cipher.AEAD, addr Addr, blob []byte) ([]byte, error) {
 	plain, err := gcm.Open(nil, ks.chunkNonce(addr, gcm.NonceSize()), blob, addr[:])
 	if err != nil {
-		return nil, fmt.Errorf("%w: chunk %s", merkle.ErrTampered, addr)
+		return nil, nymerr.Wrapf(CodeTampered, merkle.ErrTampered, "chunk %s", addr)
 	}
 	return plain, nil
 }
@@ -518,13 +510,16 @@ func (v *Store) Save(p *sim.Proc, st *nymstate.State, password string, sessions 
 // manifest bytes downloaded while looking.
 func (v *Store) latestManifest(p *sim.Proc, password string, sessions []*cloud.Session) (man *Manifest, wire int64, err error) {
 	var best *Manifest
-	var openErr error
+	var openErr, fetchErr error
 	for _, sess := range sessions {
 		if !sess.Has(v.manifestBlobName()) {
 			continue
 		}
 		blob, err := sess.Get(p, v.manifestBlobName())
 		if err != nil {
+			// Do not swallow this: a provider that HAS a manifest but
+			// cannot serve it is a reachability failure, not absence.
+			fetchErr = err
 			continue
 		}
 		wire += blob.WireSize
@@ -540,6 +535,13 @@ func (v *Store) latestManifest(p *sim.Proc, password string, sessions []*cloud.S
 	if best == nil {
 		if openErr != nil {
 			return nil, wire, openErr
+		}
+		if fetchErr != nil {
+			// Every provider holding a manifest failed its fetch:
+			// reporting "no manifest" here would misclassify an outage
+			// as a fresh nym (and could feed GC an empty live set).
+			return nil, wire, nymerr.Wrap(CodeManifestProbe, fetchErr, "manifest probe").
+				AddContext("nym", v.name)
 		}
 		return nil, wire, fmt.Errorf("%w: %q", ErrNoManifest, v.name)
 	}
@@ -582,7 +584,7 @@ func (v *Store) Load(p *sim.Proc, password string, sessions []*cloud.Session) (*
 	// it is a cheap cross-check, not the tamper defense. Chunk tamper
 	// detection is the per-chunk address-bound seal below.
 	if merkle.BuildHashes(chunkLeaves(man.Chunks)).Root() != man.Root {
-		return nil, stats, fmt.Errorf("%w: manifest chunk list", merkle.ErrTampered)
+		return nil, stats, nymerr.Wrap(CodeTampered, merkle.ErrTampered, "manifest chunk list")
 	}
 
 	// Fetch chunks in manifest order, batched per provider.
@@ -691,7 +693,7 @@ func verifyChunk(ks keys, gcm cipher.AEAD, r ChunkRef, blob cloud.Blob, plain ma
 		return err
 	}
 	if ks.realAddr(data) != r.Addr {
-		return fmt.Errorf("%w: chunk %s content mismatch", merkle.ErrTampered, r.Addr)
+		return nymerr.Wrapf(CodeTampered, merkle.ErrTampered, "chunk %s content mismatch", r.Addr)
 	}
 	plain[r.Addr] = data
 	return nil
@@ -708,11 +710,12 @@ func (man *Manifest) buildState(plain map[Addr][]byte) (*nymstate.State, error) 
 			var buf bytes.Buffer
 			for _, ci := range fe.Chunks {
 				if ci < 0 || ci >= len(man.Chunks) {
-					return nil, fmt.Errorf("%w: chunk index %d out of range", merkle.ErrTampered, ci)
+					return nil, nymerr.Wrapf(CodeTampered, merkle.ErrTampered, "chunk index %d out of range", ci)
 				}
 				data, ok := plain[man.Chunks[ci].Addr]
 				if !ok {
-					return nil, fmt.Errorf("vault: missing chunk %s", man.Chunks[ci].Addr)
+					return nil, nymerr.Newf(CodeChunkMissing, "chunk %s", man.Chunks[ci].Addr).
+						AddContext("file", fe.Path)
 				}
 				buf.Write(data)
 			}
@@ -727,7 +730,7 @@ func (man *Manifest) buildState(plain map[Addr][]byte) (*nymstate.State, error) 
 		case 1:
 			comm.Files[fe.Path] = fi
 		default:
-			return nil, fmt.Errorf("%w: file %q names disk %d", merkle.ErrTampered, fe.Path, fe.Disk)
+			return nil, nymerr.Wrapf(CodeTampered, merkle.ErrTampered, "file %q names disk %d", fe.Path, fe.Disk)
 		}
 	}
 	return &nymstate.State{
@@ -794,7 +797,7 @@ func parseChunkName(prefix, name string) (Addr, error) {
 	var a Addr
 	raw, err := hex.DecodeString(strings.TrimPrefix(name, prefix))
 	if err != nil || len(raw) != len(a) {
-		return a, fmt.Errorf("vault: bad chunk name %q", name)
+		return a, nymerr.Newf(CodeBadChunkName, "%q", name)
 	}
 	copy(a[:], raw)
 	return a, nil
@@ -859,19 +862,24 @@ func openManifest(data []byte, password, name string) (*Manifest, error) {
 		return nil, err
 	}
 	if len(data) <= gcm.NonceSize() {
-		return nil, nymstate.ErrBadArchive
+		// A blob too short to even carry a nonce is a damaged or
+		// truncated store, not a password problem.
+		return nil, nymerr.Wrap(CodeTampered, nymstate.ErrBadArchive, "manifest truncated").
+			AddContext("bytes", len(data))
 	}
 	plain, err := gcm.Open(nil, data[:gcm.NonceSize()], data[gcm.NonceSize():], []byte("manifest\x00"+name))
 	if err != nil {
-		return nil, nymstate.ErrBadPassword
+		// GCM cannot distinguish a wrong key from flipped ciphertext
+		// bits; either way the vault fails closed without state.
+		return nil, nymerr.Wrap(CodeBadPassword, nymstate.ErrBadPassword, "manifest authentication")
 	}
 	zr, err := gzip.NewReader(bytes.NewReader(plain))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", nymstate.ErrBadArchive, err)
+		return nil, nymerr.Wrapf(CodeTampered, nymstate.ErrBadArchive, "manifest decompress: %v", err)
 	}
 	var wireForm manifestWire
 	if err := gob.NewDecoder(zr).Decode(&wireForm); err != nil {
-		return nil, fmt.Errorf("%w: %v", nymstate.ErrBadArchive, err)
+		return nil, nymerr.Wrapf(CodeTampered, nymstate.ErrBadArchive, "manifest decode: %v", err)
 	}
 	man := Manifest{
 		Name: wireForm.Name, Model: wireForm.Model, Cycles: wireForm.Cycles, Seq: wireForm.Seq,

@@ -8,9 +8,11 @@ import (
 	"testing"
 	"time"
 
+	"nymix/internal/anonnet"
 	"nymix/internal/anonnet/incognito"
 	"nymix/internal/cloud"
 	"nymix/internal/merkle"
+	"nymix/internal/nymerr"
 	"nymix/internal/nymstate"
 	"nymix/internal/sim"
 	"nymix/internal/unionfs"
@@ -252,6 +254,56 @@ func TestWrongPasswordOnManifest(t *testing.T) {
 			t.Errorf("wrong password: %v, want ErrBadPassword", err)
 		}
 	})
+}
+
+// flakyAnon wraps a working anonymizer and, once down, fails every
+// exchange — a circuit collapse between login and fetch.
+type flakyAnon struct {
+	anonnet.Anonymizer
+	down bool
+}
+
+func (f *flakyAnon) Fetch(p *sim.Proc, req anonnet.Request) (anonnet.FetchResult, error) {
+	if f.down {
+		return anonnet.FetchResult{}, errors.New("anonymizer circuit collapsed")
+	}
+	return f.Anonymizer.Fetch(p, req)
+}
+
+// Regression: a provider that HAS a manifest but cannot serve it used
+// to read as "no manifest anywhere" — an anonymizer outage during the
+// probe was reported as a fresh nym (and could feed GC an empty live
+// set). The probe failure is now its own typed code.
+func TestManifestProbeOutageIsNotNoManifest(t *testing.T) {
+	r := newRig(t, 0)
+	vs := NewStore("alice", Replicate, nil)
+	r.eng.Go("test", func(p *sim.Proc) {
+		r.relay.Start(p)
+		flaky := &flakyAnon{Anonymizer: r.relay}
+		sess, err := cloud.Login(p, flaky, r.providers[0], "acct", "cpw")
+		if err != nil {
+			t.Errorf("login: %v", err)
+			return
+		}
+		sessions := []*cloud.Session{sess}
+		if _, err := vs.Save(p, testState("alice"), "pw", sessions, r.eng.Rand()); err != nil {
+			t.Errorf("save: %v", err)
+			return
+		}
+		flaky.down = true
+		_, _, err = vs.Load(p, "pw", sessions)
+		if err == nil {
+			t.Error("load succeeded through a dead anonymizer")
+			return
+		}
+		if errors.Is(err, ErrNoManifest) {
+			t.Errorf("outage misclassified as no-manifest: %v", err)
+		}
+		if nymerr.Classify(err) != CodeManifestProbe {
+			t.Errorf("classified %q, want %s: %v", nymerr.Classify(err), CodeManifestProbe, err)
+		}
+	})
+	r.eng.Run()
 }
 
 func TestTamperedChunkFailsMerkleVerification(t *testing.T) {
