@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	nymbench [-seed N] [-run all|fig3|fig4|fig5|fig6|fig7|table1|validation|ablations|vault|fleet|shards|elastic|sweeps|summary]
+//	nymbench [-seed N] [-run all|fig3|fig4|fig5|fig6|fig7|table1|validation|ablations|vault|fleet|shards|elastic|sweeps|partition|censorship|summary]
 //	         [-nyms N] [-hosts N]   # shards sizing (default 1024 over 4); elastic sizing (default 96 over 2)
 //	         [-rounds N]            # sweeps: steady-state rounds (default 8); -nyms sizes the sweep fleet (default 32)
 //	         [-json]                # also write BENCH_<run>.json (sim-time results + wall-clock and allocs)
@@ -45,7 +45,7 @@ type benchFile struct {
 
 func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, vault, fleet, shards, elastic, sweeps, summary")
+	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, vault, fleet, shards, elastic, sweeps, partition, censorship, summary")
 	nyms := flag.Int("nyms", 0, "shards: fleet size (0 = 1024); elastic: burst size (0 = 96); sweeps: fleet size (0 = 32)")
 	hosts := flag.Int("hosts", 0, "shards: pool size (0 = 4); elastic: initial pool (0 = 2)")
 	rounds := flag.Int("rounds", 0, "sweeps: steady-state rounds (0 = 8)")
@@ -161,10 +161,24 @@ func main() {
 			}
 			return experiments.RenderSweepSteadyState(res), res, nil
 		},
+		"partition": func(s uint64) (string, any, error) {
+			res, err := experiments.Partition(s)
+			if err != nil {
+				return "", nil, err
+			}
+			return experiments.RenderPartition(res), res, nil
+		},
+		"censorship": func(s uint64) (string, any, error) {
+			res, err := experiments.CensorshipDPI(s)
+			if err != nil {
+				return "", nil, err
+			}
+			return experiments.RenderCensorshipDPI(res), res, nil
+		},
 		"summary": summary,
 	}
 
-	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "vault", "fleet", "shards", "elastic", "sweeps", "summary"}
+	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "vault", "fleet", "shards", "elastic", "sweeps", "partition", "censorship", "summary"}
 	var selected []string
 	if *run == "all" {
 		selected = order

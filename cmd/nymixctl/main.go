@@ -603,18 +603,27 @@ func sweepsDemo(seed uint64, n int) error {
 
 // statusDemo exercises the whole failure surface on a live cluster —
 // a sharded ramp, scheduled sweeps, an injected nymbox crash, a
-// cross-host migration — then dumps the typed SLO report: every
-// recorded failure bucketed by its registered nymerr code, ramp and
-// sweep latency percentiles, machinery rates, and checkpoint wire
+// cross-host migration, a region-severing partition during a second
+// migration — then dumps the typed SLO report: every recorded failure
+// bucketed by its registered nymerr code (zero unclassified), ramp
+// and sweep latency percentiles, machinery rates, and checkpoint wire
 // budgets.
 func statusDemo(seed uint64, n int) error {
 	if n < 4 {
 		n = 4
 	}
 	eng := sim.NewEngine(seed)
-	_, world := webworld.BuildDefault(eng)
+	net, world := webworld.BuildDefault(eng)
 	cfg := experiments.ShardClusterConfig(2, cluster.LeastReserved{})
 	cfg.Fleet = fleet.Config{Restart: fleet.DefaultRestartPolicy()}
+	// Hosts alternate between two hosting regions so a partition can
+	// sever one side's provider path while the other keeps working.
+	cfg.RegionFor = func(i int) string {
+		if i%2 == 0 {
+			return "east"
+		}
+		return "west"
+	}
 	c, err := cluster.New(eng, world, cfg)
 	if err != nil {
 		return err
@@ -633,7 +642,7 @@ func statusDemo(seed uint64, n int) error {
 			demoErr = err
 			return
 		}
-		if err := c.StartSweeps(cluster.SweepConfig{Interval: 20 * time.Second}); err != nil {
+		if err := c.StartSweeps(cluster.SweepConfig{Interval: 20 * time.Second, SaveAll: true}); err != nil {
 			demoErr = err
 			return
 		}
@@ -687,6 +696,26 @@ func statusDemo(seed uint64, n int) error {
 		}
 		say("migrated %s to %s via the vault", mover, dst.Name())
 		p.Sleep(30 * time.Second)
+
+		// Now migrate it back while its new region is severed from the
+		// provider backbone: the fresh save fails typed
+		// (cloud.provider_unreachable at root), and the move recovers
+		// from the last sweep checkpoint instead.
+		src := c.HostOf(mover)
+		srcRegion := src.Manager().Host().Node().Region()
+		back := c.Hosts()[0]
+		if back == src {
+			back = c.Hosts()[1]
+		}
+		net.SeverRegions(srcRegion, webworld.CoreRegion)
+		say("severed region %q from the providers; migrating %s back to %s", srcRegion, mover, back.Name())
+		rep, err := c.MigrateNym(p, mover, back.Name())
+		if err != nil {
+			demoErr = err
+			return
+		}
+		net.HealRegions(srcRegion, webworld.CoreRegion)
+		say("migration recovered from the last vault checkpoint (retried=%v); region healed", rep.Retried)
 		c.StopSweeps()
 		c.AwaitSweepsIdle(p)
 		if err := c.StopAll(p); err != nil {

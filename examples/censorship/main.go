@@ -4,7 +4,10 @@
 // is exactly the answer: the same nymbox architecture runs a
 // StegoTorus-camouflaged bridge (wire traffic looks like HTTPS,
 // section 4) or SWEET (web over email, section 4.1) without touching
-// anything else.
+// anything else. The censor here is a real vnet.DPIEngine on the host
+// uplink — it classifies every flow and keeps counters — not a
+// forwarding policy, so the demo ends with the censor's own measured
+// tally of what it dropped and throttled.
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 
 	"nymix/internal/core"
 	"nymix/internal/hypervisor"
+	"nymix/internal/nymerr"
 	"nymix/internal/sim"
 	"nymix/internal/vnet"
 	"nymix/internal/webworld"
@@ -26,33 +30,42 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The state ISP deploys DPI at the gateway: anything classified as
-	// Tor is silently dropped.
-	world.Gateway().SetPolicy(func(in, out *vnet.Iface, proto string, dst *vnet.Node) bool {
-		return proto != "tor"
-	})
-	fmt.Println("ISP deploys DPI: protocol 'tor' is now dropped at the gateway")
+	// The state ISP deploys a DPI engine on the uplink: anything
+	// classified as Tor is silently dropped, and encrypted web is
+	// throttled to 256 KB/s for good measure.
+	uplink := mgr.Host().Uplink()
+	dpi := vnet.NewDPI(vnet.FirstMatch(
+		vnet.DropProto("tor"),
+		vnet.ThrottleProto(256e3, "https"),
+	))
+	uplink.SetDPI(net, dpi)
+	fmt.Println("ISP deploys DPI: 'tor' dropped, 'https' throttled to 256 KB/s")
 
 	eng.Go("bob", func(p *sim.Proc) {
-		// Plain Tor cannot even fetch the directory any more.
+		// Plain Tor cannot even fetch the directory any more. The
+		// failure is typed all the way down: the outer code is the
+		// stalled bootstrap, the root cause is vnet.censored.
 		if _, err := mgr.StartNym(p, "plain-tor", core.Options{Anonymizer: "tor"}); err != nil {
 			fmt.Printf("plain tor nym: %v\n", err)
+			fmt.Printf("  classified %s, censored=%v\n",
+				nymerr.Classify(err), nymerr.HasCode(err, vnet.CodeCensored))
 		} else {
 			log.Fatal("plain tor should have been censored")
 		}
 
 		// Same nymbox, camouflaged transport: the wire shows HTTPS.
-		cap := mgr.Host().Uplink().Tap()
+		cap := uplink.Tap()
 		bridged, err := mgr.StartNym(p, "bridged", core.Options{Anonymizer: "tor-bridge"})
 		if err != nil {
 			log.Fatalf("bridged nym: %v", err)
 		}
-		if _, err := bridged.Visit(p, "twitter.com"); err != nil {
+		res, err := bridged.Visit(p, "twitter.com")
+		if err != nil {
 			log.Fatalf("visit via bridge: %v", err)
 		}
 		fmt.Printf("bridged nym up: censor's capture shows protocols %v\n", cap.Protos())
-		fmt.Printf("bridged nym: twitter saw source %q (still a Tor exit)\n",
-			bridged.Anonymizer().ExitIdentity())
+		fmt.Printf("bridged nym: twitter in %.0fs under the throttle, saw source %q (still a Tor exit)\n",
+			res.Elapsed.Seconds(), bridged.Anonymizer().ExitIdentity())
 		if err := mgr.TerminateNym(p, bridged); err != nil {
 			log.Fatal(err)
 		}
@@ -62,7 +75,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("sweet nym: %v", err)
 		}
-		res, err := sweet.Visit(p, "bbc.co.uk")
+		res, err = sweet.Visit(p, "bbc.co.uk")
 		if err != nil {
 			log.Fatalf("visit via sweet: %v", err)
 		}
@@ -71,7 +84,12 @@ func main() {
 		if err := mgr.TerminateNym(p, sweet); err != nil {
 			log.Fatal(err)
 		}
+
+		// The censor's own books.
+		drop, thr := dpi.Stat("tor"), dpi.Stat("https")
+		fmt.Printf("censor tally: dropped %d tor flow(s) (%.1f MB), throttled %d https flow(s) (%.1f MB)\n",
+			drop.Dropped, float64(drop.DroppedBytes)/(1<<20),
+			thr.Throttled, float64(thr.ThrottledBytes)/(1<<20))
 	})
 	eng.Run()
-	_ = net
 }

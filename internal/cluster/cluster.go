@@ -52,6 +52,12 @@ type Config struct {
 	DestFor func(name string) core.VaultDest
 	// ProviderQuota is the per-account cloud quota (default 2 GiB).
 	ProviderQuota int64
+	// RegionFor maps a host index to a hosting region. When set, each
+	// host uplinks to its region's gateway router
+	// (webworld.EnsureRegion) instead of the world's LAN gateway, so
+	// vnet.SeverRegions can partition subsets of the pool from each
+	// other or from the backbone. Nil keeps the single-LAN topology.
+	RegionFor func(hostIndex int) string
 }
 
 func (c *Config) fillDefaults() {
@@ -269,9 +275,16 @@ func New(eng *sim.Engine, world *webworld.World, cfg Config) (*Cluster, error) {
 func (c *Cluster) addHost() (*Host, error) {
 	hostCfg := c.cfg.HostConfig
 	hostCfg.Name = fmt.Sprintf("%s%d", c.cfg.HostPrefix, c.hostSeq)
+	var gateway *vnet.Node
+	if c.cfg.RegionFor != nil {
+		if region := c.cfg.RegionFor(c.hostSeq); region != "" {
+			gateway = c.world.EnsureRegion(region)
+		}
+	}
 	mgr, err := core.NewManagerWith(c.eng, c.world, hostCfg, core.ManagerConfig{
 		Uplink:    c.cfg.Uplink,
 		Providers: c.providers,
+		Gateway:   gateway,
 	})
 	if err != nil {
 		return nil, err

@@ -140,6 +140,12 @@ type ManagerConfig struct {
 	// it to every manager, so a vault checkpoint stored through host A
 	// is visible to a restore on host B.
 	Providers map[string]*cloud.Provider
+	// Gateway overrides the node the host uplinks to (default: the
+	// world's LAN gateway). A multi-region cluster attaches each host
+	// to its region's gateway router (webworld.EnsureRegion); the host
+	// node then inherits the gateway's region label, so region severs
+	// partition the host along with its region.
+	Gateway *vnet.Node
 }
 
 // DefaultProviders registers the standard cloud providers (dropbin,
@@ -172,7 +178,12 @@ func NewManagerWith(eng *sim.Engine, world *webworld.World, hostCfg hypervisor.C
 	if cfg.Uplink != nil {
 		uplink = *cfg.Uplink
 	}
-	host.ConnectUplink(world.Gateway(), uplink)
+	gateway := world.Gateway()
+	if cfg.Gateway != nil {
+		gateway = cfg.Gateway
+		host.Node().SetRegion(gateway.Region())
+	}
+	host.ConnectUplink(gateway, uplink)
 	m := &Manager{
 		eng:          eng,
 		net:          world.Net(),

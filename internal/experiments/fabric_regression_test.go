@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"nymix/internal/cpusched"
+	"nymix/internal/hypervisor"
+)
+
+// The vnet refactor (flat star -> NIC/Link/Router fabric) must be
+// behaviourally invisible to every existing topology: same routes,
+// same max-min rates, same completion times, same wire bytes. These
+// constants were captured on the pre-refactor fabric (commit cd57d09)
+// for the seeded FleetRampUp/FleetShards workloads; any drift means
+// the fluid-flow model changed, not just its packaging.
+//
+// The capture ran with gob wire-type IDs pinned at init (see
+// internal/nymstate and internal/vault): without the pin, archive
+// byte sizes depend on which package gob-encoded first in the
+// process, and the save-size columns wobble by a few bytes with test
+// order.
+
+func near(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestFabricRegressionFleetRampUp(t *testing.T) {
+	rows, err := FleetRampUp(77, 12)
+	if err != nil {
+		t.Fatalf("FleetRampUp: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	got := rows[0]
+	want := FleetScale{
+		Nyms:          12,
+		TimeToRunning: 49746374966 * time.Nanosecond,
+		SerialEst:     230335058616 * time.Nanosecond,
+		ColdSaveMB:    18.996952056884766,
+		SteadySaveMB:  1.8501300811767578,
+		SaveBaseMB:    20.80024242401123,
+		PeakRAMGiB:    2.70648193359375,
+		RAMBudgetGiB:  56.901544189080596,
+		PeakCPUTasks:  24,
+		Restarts:      0,
+	}
+	if got.Nyms != want.Nyms || got.TimeToRunning != want.TimeToRunning ||
+		got.SerialEst != want.SerialEst || got.PeakCPUTasks != want.PeakCPUTasks ||
+		got.Restarts != want.Restarts {
+		t.Errorf("timing drifted:\n got %+v\nwant %+v", got, want)
+	}
+	for _, c := range []struct {
+		name     string
+		got, exp float64
+	}{
+		{"ColdSaveMB", got.ColdSaveMB, want.ColdSaveMB},
+		{"SteadySaveMB", got.SteadySaveMB, want.SteadySaveMB},
+		{"SaveBaseMB", got.SaveBaseMB, want.SaveBaseMB},
+		{"PeakRAMGiB", got.PeakRAMGiB, want.PeakRAMGiB},
+		{"RAMBudgetGiB", got.RAMBudgetGiB, want.RAMBudgetGiB},
+	} {
+		if !near(c.got, c.exp) {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.exp)
+		}
+	}
+}
+
+func TestFabricRegressionFleetShards(t *testing.T) {
+	hostCfg := hypervisor.Config{
+		RAMBytes: 6 << 30,
+		CPU:      cpusched.Config{Cores: 8, SMTFactor: 1.3},
+	}
+	rows, err := FleetShardsOn(5, 24, 2, hostCfg)
+	if err != nil {
+		t.Fatalf("FleetShardsOn: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	want := []ShardScale{
+		{
+			Policy:          rows[0].Policy, // policy labels are not under test
+			Nyms:            24,
+			Hosts:           2,
+			TimeToRunning:   21796775460 * time.Nanosecond,
+			PeakQueued:      0,
+			Migrations:      0,
+			MigrationWireMB: 0,
+			PerHost:         []int{12, 12},
+			MaxShare:        0.4586259138206863,
+			MinShare:        0.4586259138206863,
+			PeakRAMGiB:      2.70648193359375,
+			Restarts:        0,
+		},
+		{
+			Policy:          rows[1].Policy,
+			Nyms:            24,
+			Hosts:           2,
+			TimeToRunning:   37152534017 * time.Nanosecond,
+			PeakQueued:      0,
+			Migrations:      2,
+			MigrationWireMB: 25.329242706298828,
+			PerHost:         []int{22, 2},
+			MaxShare:        0.8408141753379248,
+			MinShare:        0.0764376523034477,
+			PeakRAMGiB:      3.595844268798828,
+			Restarts:        0,
+		},
+	}
+	for i, got := range rows {
+		exp := want[i]
+		if got.TimeToRunning != exp.TimeToRunning || got.PeakQueued != exp.PeakQueued ||
+			got.Migrations != exp.Migrations || got.Restarts != exp.Restarts {
+			t.Errorf("row %d timing drifted:\n got %+v\nwant %+v", i, got, exp)
+		}
+		if len(got.PerHost) != len(exp.PerHost) {
+			t.Errorf("row %d PerHost = %v, want %v", i, got.PerHost, exp.PerHost)
+		} else {
+			for j := range exp.PerHost {
+				if got.PerHost[j] != exp.PerHost[j] {
+					t.Errorf("row %d PerHost = %v, want %v", i, got.PerHost, exp.PerHost)
+					break
+				}
+			}
+		}
+		for _, c := range []struct {
+			name     string
+			got, exp float64
+		}{
+			{"MigrationWireMB", got.MigrationWireMB, exp.MigrationWireMB},
+			{"MaxShare", got.MaxShare, exp.MaxShare},
+			{"MinShare", got.MinShare, exp.MinShare},
+			{"PeakRAMGiB", got.PeakRAMGiB, exp.PeakRAMGiB},
+		} {
+			if !near(c.got, c.exp) {
+				t.Errorf("row %d %s = %v, want %v", i, c.name, c.got, c.exp)
+			}
+		}
+	}
+}

@@ -215,7 +215,9 @@ func (h *Host) LaunchVM(cfg vm.Config) (*vm.VM, error) {
 		return nil, err
 	}
 	if cfg.Role != guestos.RoleSaniVM {
-		v.AttachNode(h.net.AddNode(cfg.Name))
+		// VM nodes live in the host's region: a region sever cuts the
+		// host's guests off along with the host itself.
+		v.AttachNode(h.net.AddNode(cfg.Name).SetRegion(h.node.Region()))
 	}
 	h.vms[cfg.Name] = v
 	return v, nil

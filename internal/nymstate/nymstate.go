@@ -41,6 +41,22 @@ var (
 	ErrBadArchive  = errors.New("nymstate: malformed archive")
 )
 
+// gob assigns wire type IDs from a process-global registry in
+// first-encode order, and those IDs are varint-encoded into every
+// stream — so the byte length of an archive would depend on which
+// package happened to gob-encode first in the process. Pinning the
+// IDs here makes archive wire sizes a pure function of content.
+// (internal/vault imports this package and pins its own wire types
+// the same way, so the combined assignment order is fixed too.)
+func init() {
+	enc := gob.NewEncoder(io.Discard)
+	for _, v := range []any{&stateWire{}, &Archive{}} {
+		if err := enc.Encode(v); err != nil {
+			panic(err)
+		}
+	}
+}
+
 // KDF parameters.
 const (
 	KDFIterations = 4096

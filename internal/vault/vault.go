@@ -12,6 +12,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -22,6 +23,18 @@ import (
 	"nymix/internal/sim"
 	"nymix/internal/unionfs"
 )
+
+// gob wire type IDs come from a process-global registry in
+// first-encode order and are varint-encoded into every stream, so a
+// manifest's byte length would depend on encode history. nymstate
+// (imported above, so its init runs first) pins its wire types;
+// pinning manifestWire here fixes the combined assignment order in
+// every binary, making blob sizes a pure function of content.
+func init() {
+	if err := gob.NewEncoder(io.Discard).Encode(&manifestWire{}); err != nil {
+		panic(err)
+	}
+}
 
 // Addr is a keyed content address: HMAC-SHA256 over a chunk's content
 // identity under the nym's addressing key.

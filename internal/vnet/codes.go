@@ -1,0 +1,41 @@
+package vnet
+
+import "nymix/internal/nymerr"
+
+// Registered error codes for the network fabric. Everything a
+// simulated network can do to a flow — no route, a dead link, a
+// severed region, a censor verdict — surfaces under one of these, so
+// the layers above (cloud, fleet, cluster, slo) classify network
+// trouble without string matching.
+var (
+	// CodeNoRoute: no policy-respecting path exists between the
+	// endpoints.
+	CodeNoRoute = nymerr.Register("vnet.no_route",
+		"no policy-respecting path between the endpoints")
+	// CodeLinkDown: a link on the flow's path was administratively
+	// down in the traversal direction.
+	CodeLinkDown = nymerr.Register("vnet.link_down",
+		"a link on the path is down in the traversal direction")
+	// CodeCanceled: the transfer was canceled by its originator.
+	CodeCanceled = nymerr.Register("vnet.canceled",
+		"the transfer was canceled by its originator")
+	// CodePartitioned: the path crosses a severed region boundary.
+	CodePartitioned = nymerr.Register("vnet.partitioned",
+		"the path crosses a severed region boundary")
+	// CodeCensored: a DPI engine on the path classified the flow and
+	// dropped it.
+	CodeCensored = nymerr.Register("vnet.censored",
+		"a DPI engine on the path dropped the classified flow")
+)
+
+// Sentinel errors. Each is a typed nymerr root carrying the matching
+// vnet.* code, so errors.Is against the sentinel and
+// nymerr.Classify/HasCode against the code both work on any error
+// derived from these (including fmt.Errorf("%w ...") wraps).
+var (
+	ErrNoRoute     = nymerr.New(CodeNoRoute, "no route to host")
+	ErrLinkDown    = nymerr.New(CodeLinkDown, "link down")
+	ErrCanceled    = nymerr.New(CodeCanceled, "transfer canceled")
+	ErrPartitioned = nymerr.New(CodePartitioned, "region severed")
+	ErrCensored    = nymerr.New(CodeCensored, "flow dropped by censor")
+)

@@ -1,0 +1,163 @@
+package vnet
+
+import "sort"
+
+// Verdict is a DPI engine's ruling on a flow.
+type Verdict int
+
+// DPI verdicts. Pass admits the flow untouched; Drop kills it the way
+// a censoring middlebox does (silent drop, typed vnet.censored
+// surfacing only after the probe timeout); Throttle admits it but
+// caps its rate.
+const (
+	Pass Verdict = iota
+	Drop
+	Throttle
+)
+
+// Flow is what a DPI engine sees when it inspects a transfer at a
+// link: the true endpoints, the source as observed at that link
+// (post-NAT — a censor behind the NAT sees the masqueraded origin),
+// the protocol label, and the payload size.
+type Flow struct {
+	Src         string
+	ObservedSrc string
+	Dst         string
+	Proto       string
+	Bytes       int64
+}
+
+// Ruling is a classifier's decision: the verdict, plus the rate cap
+// in bytes/s when the verdict is Throttle.
+type Ruling struct {
+	Verdict Verdict
+	Rate    float64
+}
+
+// Classifier maps an observed flow to a ruling.
+type Classifier func(Flow) Ruling
+
+// DropProto returns a classifier that drops flows carrying any of the
+// given protocol labels — the firewall from the paper's censorship
+// scenario, which fingerprints and blocks vanilla Tor.
+func DropProto(protos ...string) Classifier {
+	set := protoSet(protos)
+	return func(f Flow) Ruling {
+		if set[f.Proto] {
+			return Ruling{Verdict: Drop}
+		}
+		return Ruling{}
+	}
+}
+
+// ThrottleProto returns a classifier that throttles flows carrying
+// any of the given protocol labels to rate bytes/s.
+func ThrottleProto(rate float64, protos ...string) Classifier {
+	set := protoSet(protos)
+	return func(f Flow) Ruling {
+		if set[f.Proto] {
+			return Ruling{Verdict: Throttle, Rate: rate}
+		}
+		return Ruling{}
+	}
+}
+
+// FirstMatch composes classifiers: the first non-Pass ruling wins.
+func FirstMatch(cs ...Classifier) Classifier {
+	return func(f Flow) Ruling {
+		for _, c := range cs {
+			if r := c(f); r.Verdict != Pass {
+				return r
+			}
+		}
+		return Ruling{}
+	}
+}
+
+func protoSet(protos []string) map[string]bool {
+	set := make(map[string]bool, len(protos))
+	for _, p := range protos {
+		set[p] = true
+	}
+	return set
+}
+
+// DPIStat aggregates one protocol's censor treatment.
+type DPIStat struct {
+	Dropped        int
+	Throttled      int
+	DroppedBytes   int64
+	ThrottledBytes int64
+}
+
+// DPIEngine is the pluggable censor hook a Link carries. It
+// classifies every flow admitted across the link and keeps counters
+// of what it dropped and throttled, so a censorship experiment can
+// report measured censor activity rather than assumed policy.
+type DPIEngine struct {
+	classify Classifier
+	byProto  map[string]*DPIStat
+	dropped  int
+	throttld int
+}
+
+// NewDPI returns an engine running the classifier. Install it on a
+// link with Link.SetDPI.
+func NewDPI(c Classifier) *DPIEngine {
+	return &DPIEngine{classify: c, byProto: make(map[string]*DPIStat)}
+}
+
+func (e *DPIEngine) inspect(f Flow) Ruling {
+	if e.classify == nil {
+		return Ruling{}
+	}
+	return e.classify(f)
+}
+
+func (e *DPIEngine) stat(proto string) *DPIStat {
+	s := e.byProto[proto]
+	if s == nil {
+		s = &DPIStat{}
+		e.byProto[proto] = s
+	}
+	return s
+}
+
+func (e *DPIEngine) noteDrop(proto string, bytes int64) {
+	e.dropped++
+	s := e.stat(proto)
+	s.Dropped++
+	s.DroppedBytes += bytes
+}
+
+func (e *DPIEngine) noteThrottle(proto string, bytes int64) {
+	e.throttld++
+	s := e.stat(proto)
+	s.Throttled++
+	s.ThrottledBytes += bytes
+}
+
+// Dropped returns the number of flows the engine dropped.
+func (e *DPIEngine) Dropped() int { return e.dropped }
+
+// Throttled returns the number of flows the engine throttled.
+func (e *DPIEngine) Throttled() int { return e.throttld }
+
+// Stat returns the engine's counters for one protocol label.
+func (e *DPIEngine) Stat(proto string) DPIStat {
+	if s := e.byProto[proto]; s != nil {
+		return *s
+	}
+	return DPIStat{}
+}
+
+// Protos returns the protocol labels the engine has ruled on
+// (dropped or throttled), sorted.
+func (e *DPIEngine) Protos() []string {
+	out := make([]string, 0, len(e.byProto))
+	for p := range e.byProto {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

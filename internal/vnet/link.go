@@ -1,0 +1,254 @@
+package vnet
+
+import (
+	"sort"
+	"time"
+
+	"nymix/internal/sim"
+)
+
+// LinkConfig parameterizes a link.
+type LinkConfig struct {
+	Latency  time.Duration // one-way propagation delay
+	Capacity float64       // bytes per second, shared by both directions; 0 = unlimited
+	Loss     float64       // fraction of wire bytes lost per crossing [0,0.9]; retransmission inflates the flow's wire volume
+}
+
+// Link direction indices: dirAB is traversal from endpoint a toward
+// endpoint b, dirBA the reverse. Latency and capacity are symmetric;
+// up/down state and loss are per direction, which is what makes
+// asymmetric partitions expressible.
+const (
+	dirAB = 0
+	dirBA = 1
+)
+
+// Link is a point-to-point link between two NICs. Capacity is shared
+// by both directions (half-duplex fluid model); administrative state
+// and loss are tracked per direction.
+type Link struct {
+	id       int
+	a, b     *NIC
+	cfg      LinkConfig
+	down     [2]bool
+	loss     [2]float64
+	dpi      *DPIEngine
+	active   map[*Transfer]struct{}
+	captures []*Capture
+	wire     [2]float64 // bytes settled across the link per direction (continuous)
+	ledger   [2]float64 // bytes accounted at flow detach per direction (double entry)
+}
+
+// Connect joins two nodes with a link.
+func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
+	loss := clampLoss(cfg.Loss)
+	l := &Link{
+		id:     len(n.links),
+		cfg:    cfg,
+		loss:   [2]float64{loss, loss},
+		active: make(map[*Transfer]struct{}),
+	}
+	l.a = &NIC{node: a, link: l}
+	l.b = &NIC{node: b, link: l}
+	a.ifaces = append(a.ifaces, l.a)
+	b.ifaces = append(b.ifaces, l.b)
+	n.links = append(n.links, l)
+	return l
+}
+
+func clampLoss(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0.9 {
+		return 0.9
+	}
+	return v
+}
+
+// Endpoints returns the two nodes the link joins.
+func (l *Link) Endpoints() (*Node, *Node) { return l.a.node, l.b.node }
+
+// Config returns the link's parameters.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// A returns the NIC at the link's first endpoint.
+func (l *Link) A() *NIC { return l.a }
+
+// B returns the NIC at the link's second endpoint.
+func (l *Link) B() *NIC { return l.b }
+
+// NICFor returns the link's NIC attached to nd, or nil.
+func (l *Link) NICFor(nd *Node) *NIC {
+	switch nd {
+	case l.a.node:
+		return l.a
+	case l.b.node:
+		return l.b
+	}
+	return nil
+}
+
+// dirFrom returns the direction index for traffic transmitted by nd's
+// side of the link. nd must be an endpoint.
+func (l *Link) dirFrom(nd *Node) int {
+	if nd == l.a.node {
+		return dirAB
+	}
+	return dirBA
+}
+
+// txNIC and rxNIC return the transmitting and receiving NIC for a
+// direction index.
+func (l *Link) txNIC(dir int) *NIC {
+	if dir == dirAB {
+		return l.a
+	}
+	return l.b
+}
+
+func (l *Link) rxNIC(dir int) *NIC {
+	if dir == dirAB {
+		return l.b
+	}
+	return l.a
+}
+
+// SetDown takes the link down (true) or up (false) in both directions.
+// Taking a link down fails every transfer currently crossing it.
+func (l *Link) SetDown(n *Network, down bool) {
+	l.down[dirAB] = down
+	l.down[dirBA] = down
+	if !down {
+		return
+	}
+	l.failActive(func(*Transfer) bool { return true }, ErrLinkDown)
+}
+
+// SetDownOneWay takes the direction transmitted from `from` down
+// (true) or up (false), leaving the reverse direction untouched: an
+// asymmetric impairment. Taking a direction down fails every transfer
+// whose path crosses the link in that direction.
+func (l *Link) SetDownOneWay(n *Network, from *Node, down bool) {
+	dir := l.dirFrom(from)
+	l.down[dir] = down
+	if !down {
+		return
+	}
+	l.failActive(func(t *Transfer) bool { return t.crossesDir(l, dir) }, ErrLinkDown)
+}
+
+// Down reports whether the link is down in either direction.
+func (l *Link) Down() bool { return l.down[dirAB] || l.down[dirBA] }
+
+// DownFrom reports whether the direction transmitted from nd is down.
+func (l *Link) DownFrom(nd *Node) bool { return l.down[l.dirFrom(nd)] }
+
+// SetLoss sets the link's loss rate in both directions for flows
+// started after the call (in-flight flows keep the wire volume they
+// were admitted with). The rate is clamped to [0, 0.9].
+func (l *Link) SetLoss(loss float64) {
+	v := clampLoss(loss)
+	l.cfg.Loss = v
+	l.loss[dirAB] = v
+	l.loss[dirBA] = v
+}
+
+// Loss returns the loss rate for the direction transmitted from nd.
+func (l *Link) Loss(nd *Node) float64 { return l.loss[l.dirFrom(nd)] }
+
+// SetDPI installs (or, with nil, removes) a DPI engine on the link.
+// Every new flow crossing the link in either direction is classified
+// at admission; installing an engine mid-run immediately re-inspects
+// in-flight flows and fails the ones it would drop, the way a censor
+// tears down established connections when a new rule ships.
+func (l *Link) SetDPI(n *Network, e *DPIEngine) {
+	l.dpi = e
+	if e == nil {
+		return
+	}
+	l.failActive(func(t *Transfer) bool {
+		h := t.hopOn(l)
+		if h == nil {
+			return false
+		}
+		ruling := e.inspect(Flow{
+			Src:         t.opts.From,
+			ObservedSrc: h.observedSrc,
+			Dst:         t.opts.To,
+			Proto:       t.opts.Proto,
+			Bytes:       t.opts.Bytes,
+		})
+		return ruling.Verdict == Drop
+	}, ErrCensored)
+}
+
+// DPI returns the engine installed on the link, or nil.
+func (l *Link) DPI() *DPIEngine { return l.dpi }
+
+// WireBytesFrom returns the wire bytes settled across the link in the
+// direction transmitted from nd.
+func (l *Link) WireBytesFrom(nd *Node) int64 { return round64(l.wire[l.dirFrom(nd)]) }
+
+// WireBytesTotal returns the wire bytes settled across the link in
+// both directions since creation.
+func (l *Link) WireBytesTotal() int64 { return round64(l.wire[dirAB] + l.wire[dirBA]) }
+
+// LedgerBytesTotal returns the per-flow byte totals accounted when
+// flows detached from the link. Once the network is quiescent this
+// must equal WireBytesTotal — the double-entry cross-check behind the
+// partition experiment's tap accounting.
+func (l *Link) LedgerBytesTotal() int64 { return round64(l.ledger[dirAB] + l.ledger[dirBA]) }
+
+// failActive fails the link's active transfers matching pred, in id
+// order for determinism.
+func (l *Link) failActive(pred func(*Transfer) bool, cause error) {
+	var victims []*Transfer
+	for t := range l.active {
+		if pred(t) {
+			victims = append(victims, t)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+	for _, t := range victims {
+		t.fail(cause)
+	}
+}
+
+// Capture is a passive tap on a link, the simulation's Wireshark. The
+// paper's validation runs one on the host uplink to confirm an idle
+// Nymix emits only DHCP and anonymizer traffic.
+type Capture struct {
+	link    *Link
+	Entries []CaptureEntry
+}
+
+// CaptureEntry records one flow crossing a tapped link.
+type CaptureEntry struct {
+	Time        sim.Time
+	ObservedSrc string // source as visible at this link (post-NAT)
+	Dst         string
+	Proto       string
+	Bytes       int64
+}
+
+// Tap attaches a capture to the link.
+func (l *Link) Tap() *Capture {
+	c := &Capture{link: l}
+	l.captures = append(l.captures, c)
+	return c
+}
+
+// Protos returns the distinct protocol labels seen, sorted.
+func (c *Capture) Protos() []string {
+	set := map[string]bool{}
+	for _, e := range c.Entries {
+		set[e.Proto] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

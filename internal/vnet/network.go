@@ -1,0 +1,115 @@
+package vnet
+
+import (
+	"fmt"
+
+	"nymix/internal/sim"
+)
+
+// DefaultMaxRate caps flows whose path has no finite-capacity link
+// (1 Gbit/s in bytes per second).
+const DefaultMaxRate = 125e6
+
+// Network is a simulated network bound to a simulation engine.
+type Network struct {
+	eng       *sim.Engine
+	nodes     map[string]*Node
+	nodeOrder []*Node
+	links     []*Link
+	transfers []*Transfer // active, ordered by id for determinism
+	nextID    int64
+	severed   map[regionPair]bool
+	faultLog  []AppliedFault
+}
+
+// New returns an empty network on eng.
+func New(eng *sim.Engine) *Network {
+	return &Network{
+		eng:     eng,
+		nodes:   make(map[string]*Node),
+		severed: make(map[regionPair]bool),
+	}
+}
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// ForwardPolicy decides whether a node forwards traffic arriving on in
+// toward out, destined for dst (the segment's destination node, so a
+// NAT firewall can drop private-range destinations). Endpoint nodes
+// are not policy-checked for their own traffic; only transit hops are.
+type ForwardPolicy func(in, out *NIC, proto string, dst *Node) bool
+
+// Node is a host, VM, relay, or service attachment point.
+type Node struct {
+	net     *Network
+	name    string
+	region  string // "" = unlabelled; used by region severing
+	ifaces  []*NIC
+	policy  ForwardPolicy
+	masq    bool // NAT masquerade: forwarded traffic appears to come from this node
+	noTrans bool // refuses to forward entirely (end hosts)
+	tags    map[string]bool
+}
+
+// AddNode creates a node. By default a node forwards nothing
+// (end-host); call SetForwarding or SetPolicy to make it a router, or
+// use AddRouter directly.
+func (n *Network) AddNode(name string) *Node {
+	if _, ok := n.nodes[name]; ok {
+		panic(fmt.Sprintf("vnet: duplicate node %q", name))
+	}
+	nd := &Node{net: n, name: name, noTrans: true}
+	n.nodes[name] = nd
+	n.nodeOrder = append(n.nodeOrder, nd)
+	return nd
+}
+
+// Node returns the named node, or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// Name returns the node's name.
+func (nd *Node) Name() string { return nd.name }
+
+// Ifaces returns the node's NICs in link-creation order.
+func (nd *Node) Ifaces() []*NIC { return nd.ifaces }
+
+// AddTag labels the node (e.g. "lan" for intranet hosts whose private
+// address range a NAT firewall filters).
+func (nd *Node) AddTag(tag string) *Node {
+	if nd.tags == nil {
+		nd.tags = make(map[string]bool)
+	}
+	nd.tags[tag] = true
+	return nd
+}
+
+// HasTag reports whether the node carries the tag.
+func (nd *Node) HasTag(tag string) bool { return nd.tags[tag] }
+
+// SetForwarding enables or disables transit through this node.
+func (nd *Node) SetForwarding(on bool) *Node { nd.noTrans = !on; return nd }
+
+// SetPolicy installs a forwarding policy (implies forwarding enabled).
+func (nd *Node) SetPolicy(p ForwardPolicy) *Node {
+	nd.policy = p
+	nd.noTrans = false
+	return nd
+}
+
+// SetMasquerade makes the node a NAT: traffic it forwards is observed
+// downstream with this node as its source, hiding the true origin —
+// KVM user-mode NAT in the paper's prototype.
+func (nd *Node) SetMasquerade(on bool) *Node { nd.masq = on; return nd }
+
+// SetRegion labels the node with a region name. Region labels drive
+// SeverRegions: a flow whose path crosses from one labelled region
+// into another follows the sever map. Unlabelled nodes ("") belong to
+// no region and never match a sever.
+func (nd *Node) SetRegion(region string) *Node { nd.region = region; return nd }
+
+// Region returns the node's region label ("" if unlabelled).
+func (nd *Node) Region() string { return nd.region }
+
+// ActiveTransfers returns the number of in-flight flows.
+func (n *Network) ActiveTransfers() int { return len(n.transfers) }

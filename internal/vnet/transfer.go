@@ -1,0 +1,411 @@
+package vnet
+
+import (
+	"fmt"
+	"time"
+
+	"nymix/internal/sim"
+)
+
+// Result describes a finished transfer.
+type Result struct {
+	Bytes   int64
+	Started sim.Time
+	Ended   sim.Time
+}
+
+// Duration returns the transfer's elapsed simulated time.
+func (r Result) Duration() time.Duration { return r.Ended - r.Started }
+
+// TransferOpts parameterizes a flow.
+type TransferOpts struct {
+	From, To string
+	Via      []string // proxy waypoints (e.g. Tor relays), in order
+	Bytes    int64
+	Proto    string  // protocol label, visible to captures, policies, and DPI
+	Overhead float64 // fractional protocol overhead; wire bytes = Bytes*(1+Overhead)
+	// NoHandshake skips the connection-setup round trip (datagrams).
+	NoHandshake bool
+	MaxRate     float64 // per-flow cap in bytes/s; 0 = DefaultMaxRate
+}
+
+// Transfer is an in-flight fluid flow.
+type Transfer struct {
+	id         int64
+	net        *Network
+	opts       TransferOpts
+	hops       []hop
+	segEnds    [][2]*Node // (origin, destination) of each proxy segment
+	remaining  float64
+	delivered  float64 // wire bytes settled so far (feeds the detach ledger)
+	rate       float64
+	lastUpdate sim.Time
+	timer      *sim.Timer
+	fut        *sim.Future[Result]
+	started    sim.Time
+	active     bool
+	finished   bool
+}
+
+// crossesDir reports whether the flow's path crosses l in direction
+// dir.
+func (t *Transfer) crossesDir(l *Link, dir int) bool {
+	for _, h := range t.hops {
+		if h.link == l && h.dir == dir {
+			return true
+		}
+	}
+	return false
+}
+
+// hopOn returns the flow's first hop across l, or nil.
+func (t *Transfer) hopOn(l *Link) *hop {
+	for i := range t.hops {
+		if t.hops[i].link == l {
+			return &t.hops[i]
+		}
+	}
+	return nil
+}
+
+// StartTransfer begins a flow and returns a future that completes when
+// the last byte is delivered (or the flow fails).
+func (n *Network) StartTransfer(opts TransferOpts) *sim.Future[Result] {
+	fut := sim.NewFuture[Result](n.eng)
+	src, dst := n.nodes[opts.From], n.nodes[opts.To]
+	if src == nil || dst == nil {
+		n.eng.Schedule(0, func() { fut.Complete(Result{}, fmt.Errorf("%w: unknown endpoint", ErrNoRoute)) })
+		return fut
+	}
+	vias, err := n.viaNodes(opts.Via)
+	if err != nil {
+		n.eng.Schedule(0, func() { fut.Complete(Result{}, err) })
+		return fut
+	}
+	hops, err := n.route(src, dst, vias, opts.Proto)
+	if err != nil {
+		// Silent drop: the failure surfaces only after a probe timeout.
+		n.eng.Schedule(3*time.Second, func() { fut.Complete(Result{}, err) })
+		return fut
+	}
+	if opts.MaxRate <= 0 {
+		opts.MaxRate = DefaultMaxRate
+	}
+	// DPI admission: every engine on the path inspects the flow. A
+	// drop behaves like the silent drop of a censoring middlebox; a
+	// throttle caps the flow's rate below its own ceiling.
+	for _, h := range hops {
+		e := h.link.dpi
+		if e == nil {
+			continue
+		}
+		ruling := e.inspect(Flow{
+			Src:         opts.From,
+			ObservedSrc: h.observedSrc,
+			Dst:         opts.To,
+			Proto:       opts.Proto,
+			Bytes:       opts.Bytes,
+		})
+		switch ruling.Verdict {
+		case Drop:
+			e.noteDrop(opts.Proto, opts.Bytes)
+			dropErr := fmt.Errorf("%w (%s -> %s, proto %s)", ErrCensored, opts.From, opts.To, opts.Proto)
+			n.eng.Schedule(3*time.Second, func() { fut.Complete(Result{}, dropErr) })
+			return fut
+		case Throttle:
+			e.noteThrottle(opts.Proto, opts.Bytes)
+			if ruling.Rate > 0 && ruling.Rate < opts.MaxRate {
+				opts.MaxRate = ruling.Rate
+			}
+		}
+	}
+	wire := float64(opts.Bytes) * (1 + opts.Overhead)
+	if wire < 1 {
+		wire = 1
+	}
+	// Lossy hops inflate the wire volume: every crossing of a hop with
+	// loss p must carry 1/(1-p) times the bytes to deliver the payload
+	// (end-to-end retransmission in the fluid model).
+	for _, h := range hops {
+		if p := h.link.loss[h.dir]; p > 0 {
+			wire /= 1 - p
+		}
+	}
+	points := append([]*Node{src}, vias...)
+	points = append(points, dst)
+	segEnds := make([][2]*Node, 0, len(points)-1)
+	for i := 0; i+1 < len(points); i++ {
+		segEnds = append(segEnds, [2]*Node{points[i], points[i+1]})
+	}
+	t := &Transfer{
+		id:        n.nextID,
+		net:       n,
+		opts:      opts,
+		hops:      hops,
+		segEnds:   segEnds,
+		remaining: wire,
+		fut:       fut,
+		started:   n.eng.Now(),
+	}
+	n.nextID++
+	var setup time.Duration
+	for _, h := range hops {
+		setup += h.link.cfg.Latency
+	}
+	if !opts.NoHandshake {
+		setup *= 2 // connection setup costs a full round trip first
+	}
+	n.eng.Schedule(setup, func() { n.activate(t) })
+	return fut
+}
+
+func (n *Network) activate(t *Transfer) {
+	if t.finished {
+		return
+	}
+	// The fabric may have changed during the handshake window: a
+	// direction gone down or a region severed kills the flow before
+	// any byte moves.
+	for _, h := range t.hops {
+		if h.link.down[h.dir] {
+			t.finished = true
+			t.fut.Complete(Result{Started: t.started, Ended: n.eng.Now()}, ErrLinkDown)
+			return
+		}
+	}
+	if n.partitionBlocked(t) {
+		t.finished = true
+		t.fut.Complete(Result{Started: t.started, Ended: n.eng.Now()}, ErrPartitioned)
+		return
+	}
+	t.active = true
+	t.lastUpdate = n.eng.Now()
+	for _, h := range t.hops {
+		h.link.active[t] = struct{}{}
+		for _, c := range h.link.captures {
+			c.Entries = append(c.Entries, CaptureEntry{
+				Time:        n.eng.Now(),
+				ObservedSrc: h.observedSrc,
+				Dst:         t.opts.To,
+				Proto:       t.opts.Proto,
+				Bytes:       t.opts.Bytes,
+			})
+		}
+	}
+	n.transfers = append(n.transfers, t)
+	n.recompute()
+}
+
+// settle advances the flow to now at its current rate, moving the
+// progressed bytes out of remaining and crediting them to every NIC,
+// tap, and link counter on the path.
+func (t *Transfer) settle(now sim.Time) {
+	elapsed := (now - t.lastUpdate).Seconds()
+	if elapsed > 0 && t.rate > 0 {
+		moved := t.rate * elapsed
+		if moved > t.remaining {
+			moved = t.remaining
+		}
+		t.remaining -= moved
+		if t.remaining < 0 {
+			t.remaining = 0
+		}
+		t.credit(moved)
+	}
+	t.lastUpdate = now
+}
+
+// credit books moved wire bytes onto every hop of the path: the
+// link's directional counter, both NICs, and any attached taps.
+func (t *Transfer) credit(moved float64) {
+	if moved <= 0 {
+		return
+	}
+	t.delivered += moved
+	for i := range t.hops {
+		h := &t.hops[i]
+		l := h.link
+		l.wire[h.dir] += moved
+		tx, rx := l.txNIC(h.dir), l.rxNIC(h.dir)
+		tx.tx += moved
+		rx.rx += moved
+		for _, w := range tx.taps {
+			w.tx += moved
+		}
+		for _, w := range rx.taps {
+			w.rx += moved
+		}
+	}
+}
+
+// recompute reruns max-min fair allocation across all active flows and
+// reschedules their completion events. Called on every flow start and
+// finish.
+func (n *Network) recompute() {
+	now := n.eng.Now()
+	// Settle progress at the old rates.
+	for _, t := range n.transfers {
+		t.settle(now)
+		if t.timer != nil {
+			t.timer.Cancel()
+			t.timer = nil
+		}
+		t.rate = 0
+	}
+	// Progressive filling (max-min fairness).
+	residual := make(map[*Link]float64)
+	unfrozen := make(map[*Transfer]bool, len(n.transfers))
+	for _, t := range n.transfers {
+		unfrozen[t] = true
+		for _, h := range t.hops {
+			if h.link.cfg.Capacity > 0 {
+				residual[h.link] = h.link.cfg.Capacity
+			}
+		}
+	}
+	for len(unfrozen) > 0 {
+		// Count unfrozen flows per finite link.
+		count := make(map[*Link]int)
+		for _, t := range n.transfers {
+			if !unfrozen[t] {
+				continue
+			}
+			seen := map[*Link]bool{}
+			for _, h := range t.hops {
+				if h.link.cfg.Capacity > 0 && !seen[h.link] {
+					count[h.link]++
+					seen[h.link] = true
+				}
+			}
+		}
+		// Smallest allowable uniform increment.
+		delta := -1.0
+		for l, c := range count {
+			if c == 0 {
+				continue
+			}
+			share := residual[l] / float64(c)
+			if delta < 0 || share < delta {
+				delta = share
+			}
+		}
+		for _, t := range n.transfers {
+			if unfrozen[t] {
+				head := t.opts.MaxRate - t.rate
+				if delta < 0 || head < delta {
+					delta = head
+				}
+			}
+		}
+		if delta <= 1e-9 {
+			delta = 0
+		}
+		// Apply the increment and freeze saturated flows.
+		for _, t := range n.transfers {
+			if !unfrozen[t] {
+				continue
+			}
+			t.rate += delta
+			seen := map[*Link]bool{}
+			for _, h := range t.hops {
+				if h.link.cfg.Capacity > 0 && !seen[h.link] {
+					residual[h.link] -= delta
+					seen[h.link] = true
+				}
+			}
+		}
+		frozeAny := false
+		for _, t := range n.transfers {
+			if !unfrozen[t] {
+				continue
+			}
+			if t.rate >= t.opts.MaxRate-1e-9 {
+				delete(unfrozen, t)
+				frozeAny = true
+				continue
+			}
+			for _, h := range t.hops {
+				if h.link.cfg.Capacity > 0 && residual[h.link] <= 1e-9 {
+					delete(unfrozen, t)
+					frozeAny = true
+					break
+				}
+			}
+		}
+		if !frozeAny {
+			// Defensive: guarantees termination even with degenerate
+			// capacities.
+			break
+		}
+	}
+	// Schedule completions.
+	for _, t := range n.transfers {
+		t := t
+		if t.rate <= 0 {
+			continue // starved (e.g. zero-capacity path); fails only on link-down
+		}
+		eta := time.Duration(t.remaining / t.rate * float64(time.Second))
+		if eta < 0 {
+			eta = 0
+		}
+		t.timer = n.eng.Schedule(eta, func() { n.finish(t) })
+	}
+}
+
+func (n *Network) finish(t *Transfer) {
+	if t.finished {
+		return
+	}
+	t.settle(n.eng.Now())
+	// Book any float dust so taps, ledger, and the wire volume agree
+	// to the byte.
+	if t.remaining > 0 {
+		t.credit(t.remaining)
+	}
+	t.remaining = 0
+	t.detach()
+	// Last byte still needs to propagate to the receiver.
+	var tail time.Duration
+	for _, h := range t.hops {
+		tail += h.link.cfg.Latency
+	}
+	end := n.eng.Now() + tail
+	n.eng.Schedule(tail, func() {
+		t.fut.Complete(Result{Bytes: t.opts.Bytes, Started: t.started, Ended: end}, nil)
+	})
+	n.recompute()
+}
+
+func (t *Transfer) fail(err error) {
+	if t.finished {
+		return
+	}
+	if t.active {
+		t.settle(t.net.eng.Now())
+	}
+	t.detach()
+	t.fut.Complete(Result{Started: t.started, Ended: t.net.eng.Now()}, err)
+	t.net.recompute()
+}
+
+// detach removes the transfer from links and the active list, booking
+// its settled bytes into each crossed link's ledger (the double-entry
+// side of the tap accounting).
+func (t *Transfer) detach() {
+	t.finished = true
+	t.active = false
+	if t.timer != nil {
+		t.timer.Cancel()
+		t.timer = nil
+	}
+	for _, h := range t.hops {
+		h.link.ledger[h.dir] += t.delivered
+		delete(h.link.active, t)
+	}
+	for i, other := range t.net.transfers {
+		if other == t {
+			t.net.transfers = append(t.net.transfers[:i], t.net.transfers[i+1:]...)
+			break
+		}
+	}
+}

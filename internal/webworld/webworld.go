@@ -22,6 +22,12 @@ import (
 // LANTag marks intranet nodes; it must match the hypervisor's filter.
 const LANTag = "lan"
 
+// CoreRegion labels the backbone: the default gateway, the Internet
+// router, the DeterLab enclave, and the mail exchange. Severing a
+// hosting region from CoreRegion cuts that region's hosts off from
+// every site, provider, and relay attached to the backbone.
+const CoreRegion = "core"
+
 // SiteProfile models a web site's weight and behaviour. Sizes are
 // bytes.
 type SiteProfile struct {
@@ -101,7 +107,8 @@ type World struct {
 	sites    map[string]*Site // by DNS host name
 	fileHost *Site
 	relays   []Relay
-	dissent  []string // Dissent anytrust server node names
+	dissent  []string              // Dissent anytrust server node names
+	regions  map[string]*vnet.Node // regional gateway routers by region name
 	dns      map[string]string
 	// trackerLog collects third-party tracker observations: what
 	// doubleclick.net and friends see across every first-party site
@@ -155,17 +162,18 @@ var (
 // Build constructs the world on an existing network.
 func Build(net *vnet.Network, cfg Config) *World {
 	w := &World{
-		eng:   net.Engine(),
-		net:   net,
-		sites: make(map[string]*Site),
-		dns:   make(map[string]string),
+		eng:     net.Engine(),
+		net:     net,
+		sites:   make(map[string]*Site),
+		regions: make(map[string]*vnet.Node),
+		dns:     make(map[string]string),
 	}
-	w.gateway = net.AddNode("gateway").SetForwarding(true)
-	w.internet = net.AddNode("internet").SetForwarding(true)
-	w.deterlab = net.AddNode("deterlab").SetForwarding(true)
+	w.gateway = net.AddRouter("gateway").WithRegion(CoreRegion).Node
+	w.internet = net.AddRouter("internet").WithRegion(CoreRegion).Node
+	w.deterlab = net.AddRouter("deterlab").WithRegion(CoreRegion).Node
 	w.ispDNS = net.AddNode("isp-dns")
 	w.intranet = net.AddNode("intranet-fileserver").AddTag(LANTag)
-	w.mailGW = net.AddNode("mail-gateway").SetForwarding(true)
+	w.mailGW = net.AddRouter("mail-gateway").WithRegion(CoreRegion).Node
 	w.sweetPrx = net.AddNode("sweet-proxy")
 	net.Connect(w.gateway, w.internet, backboneCfg)
 	net.Connect(w.internet, w.deterlab, deterCfg)
@@ -222,6 +230,25 @@ func (w *World) addSiteAt(prof SiteProfile, attach *vnet.Node, cfg vnet.LinkConf
 
 // Gateway returns the LAN gateway node the Nymix host uplinks to.
 func (w *World) Gateway() *vnet.Node { return w.gateway }
+
+// EnsureRegion returns the regional gateway router for a named
+// hosting region, creating it (and its backbone link) on first use.
+// Hosts attached to a regional gateway inherit its region label, so
+// vnet.SeverRegions can partition whole regions from each other or
+// from the CoreRegion backbone.
+func (w *World) EnsureRegion(name string) *vnet.Node {
+	if gw, ok := w.regions[name]; ok {
+		return gw
+	}
+	gw := w.net.AddRouter("region:" + name).WithRegion(name).Node
+	w.net.Connect(gw, w.internet, backboneCfg)
+	w.regions[name] = gw
+	return gw
+}
+
+// RegionGateway returns the named region's gateway router, or nil if
+// the region was never created.
+func (w *World) RegionGateway(name string) *vnet.Node { return w.regions[name] }
 
 // Internet returns the backbone router.
 func (w *World) Internet() *vnet.Node { return w.internet }
