@@ -45,7 +45,7 @@ type benchFile struct {
 
 func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, vault, fleet, shards, elastic, sweeps, partition, censorship, summary")
+	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, vault, fleet, shards, elastic, sweeps, partition, censorship, mixnet, summary")
 	nyms := flag.Int("nyms", 0, "shards: fleet size (0 = 1024); elastic: burst size (0 = 96); sweeps: fleet size (0 = 32)")
 	hosts := flag.Int("hosts", 0, "shards: pool size (0 = 4); elastic: initial pool (0 = 2)")
 	rounds := flag.Int("rounds", 0, "sweeps: steady-state rounds (0 = 8)")
@@ -175,10 +175,17 @@ func main() {
 			}
 			return experiments.RenderCensorshipDPI(res), res, nil
 		},
+		"mixnet": func(s uint64) (string, any, error) {
+			res, err := experiments.MixnetFrontier(s)
+			if err != nil {
+				return "", nil, err
+			}
+			return experiments.RenderMixnetFrontier(res), res, nil
+		},
 		"summary": summary,
 	}
 
-	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "vault", "fleet", "shards", "elastic", "sweeps", "partition", "censorship", "summary"}
+	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "vault", "fleet", "shards", "elastic", "sweeps", "partition", "censorship", "mixnet", "summary"}
 	var selected []string
 	if *run == "all" {
 		selected = order

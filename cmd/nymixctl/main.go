@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	nymixctl [-seed N] [-anonymizer tor|dissent|incognito|sweet|tor-bridge] demo
+//	nymixctl [-seed N] [-anonymizer tor|dissent|incognito|sweet|tor-bridge|mixnet] demo
 //	nymixctl [-seed N] [-nyms N] fleet     # ramp a fleet of concurrent nyms with supervision
 //	nymixctl [-seed N] [-nyms N] cluster   # shard a fleet across hosts and live-migrate a nym
 //	nymixctl [-seed N] [-nyms N] elastic   # autoscale the pool through a burst, preempt for a VIP, drain to the floor
@@ -40,7 +40,7 @@ import (
 
 func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	anonymizer := flag.String("anonymizer", "tor", "anonymizer for the demo nym: tor, dissent, incognito, sweet, tor-bridge")
+	anonymizer := flag.String("anonymizer", "tor", "anonymizer for the demo nym: tor, dissent, incognito, sweet, tor-bridge, mixnet")
 	nyms := flag.Int("nyms", 24, "fleet size for the fleet command")
 	flag.Parse()
 
@@ -150,6 +150,13 @@ func demo(seed uint64, anonymizer string) error {
 			return
 		}
 		say("posted; server-side cookie bound to this nym only")
+		if cov, ok := nym.Anonymizer().(interface {
+			CoverPackets() int64
+			CoverWireBytes() int64
+		}); ok {
+			say("cover traffic so far: %d fixed-size frames, %.2f MB — the uplink looks identical when idle",
+				cov.CoverPackets(), float64(cov.CoverWireBytes())/(1<<20))
+		}
 
 		// Sanitized transfer from the installed OS.
 		photo := sanitize.MakeJPEG(sanitize.EXIFMeta{

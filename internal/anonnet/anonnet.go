@@ -1,30 +1,26 @@
 // Package anonnet defines Nymix's pluggable anonymizer framework
-// (paper section 3.3). An Anonymizer runs inside a nym's CommVM and is
+// (paper section 3.3). A Transport runs inside a nym's CommVM and is
 // the AnonVM's only path to the Internet: it accepts SOCKS-style
 // fetch requests on the virtual wire, carries them across the
 // anonymity network, and re-originates them so that servers observe
-// the anonymizer's exit identity rather than the user's address.
+// the transport's exit identity rather than the user's address.
 //
 // Implementations: anonnet/tor (onion routing with persistent entry
-// guards), anonnet/dissent (anytrust DC-nets), and anonnet/incognito
-// (plain NAT relaying with minimal overhead and no network-level
-// anonymity). Anonymizers can be chained in series (section 3.3's
-// "best of both worlds" configurations) with Chain.
+// guards), anonnet/dissent (anytrust DC-nets), anonnet/sweet
+// (mail-tunneled proxying), anonnet/incognito (plain NAT relaying
+// with minimal overhead and no network-level anonymity), and
+// anonnet/mixnet (a fixed-cascade mix network with fixed-size packet
+// framing and constant-rate cover traffic). Each registers a factory
+// under its kind name (RegisterTransport), so the nym manager builds
+// transports through NewTransport without linking against every
+// implementation by name. Transports can be chained in series
+// (section 3.3's "best of both worlds" configurations) with Chain.
 package anonnet
 
 import (
-	"errors"
 	"time"
 
 	"nymix/internal/sim"
-)
-
-// Errors common to anonymizer implementations.
-var (
-	ErrNotReady   = errors.New("anonnet: anonymizer not started")
-	ErrNoExit     = errors.New("anonnet: no usable exit")
-	ErrResolve    = errors.New("anonnet: cannot resolve host")
-	ErrBadRequest = errors.New("anonnet: bad request")
 )
 
 // Request is one SOCKS-style exchange: send the request upstream,
@@ -42,14 +38,18 @@ type FetchResult struct {
 	Elapsed  time.Duration
 }
 
-// State is an anonymizer's quasi-persistent state (for Tor, the entry
+// State is a transport's quasi-persistent state (for Tor, the entry
 // guard and cached consensus), serialized into the nym archive so
 // that restoring a nym restores its guard — the property section 3.5
 // identifies as critical against long-term intersection attacks.
 type State map[string]string
 
-// Anonymizer is a communication tool pluggable into a CommVM.
-type Anonymizer interface {
+// Anonymizer is the historical name for Transport, kept as an alias
+// for existing callers.
+type Anonymizer = Transport
+
+// Transport is a communication tool pluggable into a CommVM.
+type Transport interface {
 	// Name identifies the tool ("tor", "dissent", "incognito").
 	Name() string
 	// Proto is the wire-protocol label observers see on captures.

@@ -6,9 +6,18 @@ import (
 	"time"
 
 	"nymix/internal/anonnet"
+	"nymix/internal/nymerr"
 	"nymix/internal/sim"
 	"nymix/internal/vnet"
 )
+
+func init() {
+	anonnet.RegisterTransport("dissent", anonnet.TransportInfo{},
+		func(env anonnet.Env) (anonnet.Transport, error) {
+			return New(env.Net, env.CommNode, env.World.DissentServers(),
+				env.Opts.DissentMembers, env.World.Resolver()), nil
+		})
+}
 
 // Protocol constants. Dissent trades throughput for traffic-analysis
 // resistance: every byte costs a DC-net round, so bulk transfer is
@@ -81,7 +90,7 @@ func (c *Client) Rounds() uint64 { return c.rounds }
 // with every anytrust server plus a scheduling round.
 func (c *Client) Start(p *sim.Proc) error {
 	if len(c.servers) == 0 {
-		return fmt.Errorf("dissent: no anytrust servers configured")
+		return nymerr.New(anonnet.CodeNoExit, "dissent: no anytrust servers configured")
 	}
 	if !c.keysUp {
 		for _, srv := range c.servers {

@@ -15,8 +15,9 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
-	"errors"
-	"fmt"
+
+	"nymix/internal/anonnet"
+	"nymix/internal/nymerr"
 )
 
 // Secret is a pairwise client-server shared secret.
@@ -88,10 +89,10 @@ func (s *Schedule) RoundLen() int { return len(s.Clients) * s.SlotLen }
 func ClientCiphertext(sched *Schedule, servers []string, client string, round uint64, msg []byte) ([]byte, error) {
 	slot := sched.SlotOf(client)
 	if slot < 0 {
-		return nil, fmt.Errorf("dissent: client %q not in schedule", client)
+		return nil, nymerr.Newf(anonnet.CodeBadRequest, "dissent: client %q not in schedule", client)
 	}
 	if len(msg) > sched.SlotLen {
-		return nil, fmt.Errorf("dissent: message %d bytes exceeds slot %d", len(msg), sched.SlotLen)
+		return nil, nymerr.Newf(anonnet.CodeBadFrame, "dissent: message %d bytes exceeds slot %d", len(msg), sched.SlotLen)
 	}
 	ct := make([]byte, sched.RoundLen())
 	for _, srv := range servers {
@@ -112,13 +113,13 @@ func ServerShare(sched *Schedule, server string, round uint64) []byte {
 }
 
 // ErrLengthMismatch is returned when round inputs disagree on length.
-var ErrLengthMismatch = errors.New("dissent: ciphertext length mismatch")
+var ErrLengthMismatch = nymerr.New(anonnet.CodeBadFrame, "dissent: ciphertext length mismatch")
 
 // CombineRound XORs all client ciphertexts and server shares,
 // revealing the round's plaintext slots.
 func CombineRound(ciphertexts, shares [][]byte) ([]byte, error) {
 	if len(ciphertexts) == 0 {
-		return nil, errors.New("dissent: no ciphertexts")
+		return nil, nymerr.New(anonnet.CodeBadRequest, "dissent: no ciphertexts")
 	}
 	n := len(ciphertexts[0])
 	out := make([]byte, n)

@@ -15,6 +15,14 @@ import (
 	"nymix/internal/vnet"
 )
 
+func init() {
+	anonnet.RegisterTransport("incognito", anonnet.TransportInfo{},
+		func(env anonnet.Env) (anonnet.Transport, error) {
+			return New(env.Net, env.CommNode, env.HostNode,
+				env.World.ISPDNS().Name(), env.World.Resolver()), nil
+		})
+}
+
 // WireOverhead is the NAT path's negligible overhead.
 const WireOverhead = 0.02
 

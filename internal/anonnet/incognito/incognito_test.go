@@ -99,20 +99,6 @@ func TestDNSLeaksToISPResolver(t *testing.T) {
 	}
 }
 
-func TestNotReadyErrors(t *testing.T) {
-	r := newRig()
-	rel := r.relay()
-	var ferr, rerr error
-	r.eng.Go("run", func(p *sim.Proc) {
-		_, ferr = rel.Fetch(p, anonnet.Request{SiteNode: "x"})
-		_, rerr = rel.Resolve(p, "x")
-	})
-	r.eng.Run()
-	if ferr != anonnet.ErrNotReady || rerr != anonnet.ErrNotReady {
-		t.Fatalf("errs = %v, %v", ferr, rerr)
-	}
-}
-
 func TestMinimalOverheadVersusTor(t *testing.T) {
 	if WireOverhead >= 0.12 {
 		t.Fatal("incognito overhead should be well under Tor's 12%")

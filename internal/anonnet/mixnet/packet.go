@@ -1,0 +1,107 @@
+package mixnet
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"nymix/internal/anonnet"
+	"nymix/internal/nymerr"
+)
+
+// Sphinx-style fixed-size framing: every packet on the wire — cover
+// or payload — is exactly PacketSize bytes, so a wire observer cannot
+// distinguish idle from active clients by packet length. The header
+// carries a magic, a version, the frame kind, and the true payload
+// length; a CRC over the whole packet makes corruption fail closed.
+const (
+	// PacketSize is the fixed on-wire size of every mixnet packet.
+	PacketSize = 2048
+	// headerSize is magic(4) + version(1) + kind(1) + length(2) +
+	// crc(4).
+	headerSize = 12
+	// PayloadCap is the payload bytes one packet can carry; the rest
+	// is zero padding covered by the checksum.
+	PayloadCap = PacketSize - headerSize
+)
+
+// Wire constants.
+const (
+	packetMagic   = uint32(0x4e594d58) // "NYMX"
+	packetVersion = byte(1)
+)
+
+// Kind distinguishes frame roles. On the wire both kinds are
+// indistinguishable to anyone without the header key; the simulation
+// keeps them explicit so accounting can split cover from payload.
+type Kind byte
+
+// Frame kinds.
+const (
+	KindPayload Kind = 1
+	KindCover   Kind = 2
+)
+
+// Frame is one decoded mixnet packet.
+type Frame struct {
+	Kind    Kind
+	Payload []byte
+}
+
+// EncodeFrame serializes a frame into exactly PacketSize bytes,
+// padding with zeros. Oversize payloads and unknown kinds fail closed
+// with anonnet.bad_frame: a frame that cannot be fixed-size must
+// never reach the wire.
+func EncodeFrame(f Frame) ([]byte, error) {
+	if f.Kind != KindPayload && f.Kind != KindCover {
+		return nil, nymerr.Newf(anonnet.CodeBadFrame, "mixnet: unknown frame kind %d", f.Kind)
+	}
+	if len(f.Payload) > PayloadCap {
+		return nil, nymerr.Newf(anonnet.CodeBadFrame,
+			"mixnet: payload %d bytes exceeds frame capacity %d", len(f.Payload), PayloadCap)
+	}
+	buf := make([]byte, PacketSize)
+	binary.BigEndian.PutUint32(buf[0:4], packetMagic)
+	buf[4] = packetVersion
+	buf[5] = byte(f.Kind)
+	binary.BigEndian.PutUint16(buf[6:8], uint16(len(f.Payload)))
+	copy(buf[headerSize:], f.Payload)
+	// CRC over the whole packet with the checksum field zeroed, so
+	// padding bit-flips are caught too.
+	binary.BigEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// DecodeFrame validates and decodes one fixed-size packet. Truncated,
+// oversized, or corrupted input fails closed with anonnet.bad_frame;
+// the decoder never panics on hostile bytes.
+func DecodeFrame(buf []byte) (Frame, error) {
+	if len(buf) != PacketSize {
+		return Frame{}, nymerr.Newf(anonnet.CodeBadFrame,
+			"mixnet: packet is %d bytes, want %d", len(buf), PacketSize)
+	}
+	if binary.BigEndian.Uint32(buf[0:4]) != packetMagic {
+		return Frame{}, nymerr.New(anonnet.CodeBadFrame, "mixnet: bad packet magic")
+	}
+	if buf[4] != packetVersion {
+		return Frame{}, nymerr.Newf(anonnet.CodeBadFrame, "mixnet: unsupported version %d", buf[4])
+	}
+	kind := Kind(buf[5])
+	if kind != KindPayload && kind != KindCover {
+		return Frame{}, nymerr.Newf(anonnet.CodeBadFrame, "mixnet: unknown frame kind %d", buf[5])
+	}
+	length := int(binary.BigEndian.Uint16(buf[6:8]))
+	if length > PayloadCap {
+		return Frame{}, nymerr.Newf(anonnet.CodeBadFrame,
+			"mixnet: declared length %d exceeds capacity %d", length, PayloadCap)
+	}
+	sum := binary.BigEndian.Uint32(buf[8:12])
+	scratch := make([]byte, PacketSize)
+	copy(scratch, buf)
+	scratch[8], scratch[9], scratch[10], scratch[11] = 0, 0, 0, 0
+	if crc32.ChecksumIEEE(scratch) != sum {
+		return Frame{}, nymerr.New(anonnet.CodeBadFrame, "mixnet: checksum mismatch")
+	}
+	payload := make([]byte, length)
+	copy(payload, buf[headerSize:headerSize+length])
+	return Frame{Kind: kind, Payload: payload}, nil
+}

@@ -1,0 +1,108 @@
+package mixnet
+
+import (
+	"bytes"
+	"testing"
+
+	"nymix/internal/anonnet"
+	"nymix/internal/nymerr"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, tc := range []Frame{
+		{Kind: KindPayload, Payload: []byte("GET /index.html")},
+		{Kind: KindPayload, Payload: bytes.Repeat([]byte{0xAB}, PayloadCap)},
+		{Kind: KindPayload, Payload: nil},
+		{Kind: KindCover, Payload: nil},
+	} {
+		buf, err := EncodeFrame(tc)
+		if err != nil {
+			t.Fatalf("encode kind=%d len=%d: %v", tc.Kind, len(tc.Payload), err)
+		}
+		if len(buf) != PacketSize {
+			t.Fatalf("encoded %d bytes, want fixed %d", len(buf), PacketSize)
+		}
+		got, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Kind != tc.Kind || !bytes.Equal(got.Payload, tc.Payload) {
+			t.Fatalf("round trip mangled frame: got kind=%d len=%d", got.Kind, len(got.Payload))
+		}
+	}
+}
+
+func TestEncodeFailsClosed(t *testing.T) {
+	if _, err := EncodeFrame(Frame{Kind: KindPayload, Payload: make([]byte, PayloadCap+1)}); !nymerr.HasCode(err, anonnet.CodeBadFrame) {
+		t.Errorf("oversize payload: %v, want %s", err, anonnet.CodeBadFrame)
+	}
+	if _, err := EncodeFrame(Frame{Kind: 99}); !nymerr.HasCode(err, anonnet.CodeBadFrame) {
+		t.Errorf("unknown kind: %v, want %s", err, anonnet.CodeBadFrame)
+	}
+}
+
+func TestDecodeFailsClosed(t *testing.T) {
+	valid, err := EncodeFrame(Frame{Kind: KindPayload, Payload: []byte("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func([]byte)) []byte {
+		buf := append([]byte(nil), valid...)
+		mutate(buf)
+		return buf
+	}
+	cases := map[string][]byte{
+		"truncated":       valid[:PacketSize-1],
+		"oversize":        append(append([]byte(nil), valid...), 0),
+		"empty":           nil,
+		"bad magic":       corrupt(func(b []byte) { b[0] ^= 0xFF }),
+		"bad version":     corrupt(func(b []byte) { b[4] = 0x7F }),
+		"bad kind":        corrupt(func(b []byte) { b[5] = 0 }),
+		"length over cap": corrupt(func(b []byte) { b[6], b[7] = 0xFF, 0xFF }),
+		"payload flip":    corrupt(func(b []byte) { b[headerSize] ^= 0x01 }),
+		"padding flip":    corrupt(func(b []byte) { b[PacketSize-1] ^= 0x80 }),
+		"checksum flip":   corrupt(func(b []byte) { b[8] ^= 0x01 }),
+	}
+	for name, buf := range cases {
+		if _, err := DecodeFrame(buf); !nymerr.HasCode(err, anonnet.CodeBadFrame) {
+			t.Errorf("%s: err = %v, want %s", name, err, anonnet.CodeBadFrame)
+		}
+	}
+}
+
+// FuzzPacketFrame throws arbitrary bytes at the decoder: it must never
+// panic, every rejection must carry the typed anonnet.bad_frame code,
+// and anything it accepts must re-encode to the identical packet
+// (the format admits exactly one encoding per frame).
+func FuzzPacketFrame(f *testing.F) {
+	seed1, _ := EncodeFrame(Frame{Kind: KindPayload, Payload: []byte("seed payload")})
+	seed2, _ := EncodeFrame(Frame{Kind: KindCover})
+	seed3, _ := EncodeFrame(Frame{Kind: KindPayload, Payload: bytes.Repeat([]byte{0x5A}, PayloadCap)})
+	f.Add(seed1)
+	f.Add(seed2)
+	f.Add(seed3)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, PacketSize))
+	truncated := append([]byte(nil), seed1[:100]...)
+	f.Add(truncated)
+	flipped := append([]byte(nil), seed1...)
+	flipped[headerSize+3] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := DecodeFrame(data)
+		if err != nil {
+			if !nymerr.HasCode(err, anonnet.CodeBadFrame) {
+				t.Fatalf("rejection not typed %s: %v", anonnet.CodeBadFrame, err)
+			}
+			return
+		}
+		reenc, err := EncodeFrame(frame)
+		if err != nil {
+			t.Fatalf("accepted frame fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatalf("decode/encode not canonical: %d bytes differ", PacketSize)
+		}
+	})
+}

@@ -22,6 +22,14 @@ import (
 	"nymix/internal/vnet"
 )
 
+func init() {
+	anonnet.RegisterTransport("sweet", anonnet.TransportInfo{},
+		func(env anonnet.Env) (anonnet.Transport, error) {
+			return New(env.Net, env.CommNode, env.World.MailGateway().Name(),
+				env.World.SweetProxy().Name(), env.World.Resolver()), nil
+		})
+}
+
 // Tunnel parameters.
 const (
 	// ChunkBytes is the payload carried per email.

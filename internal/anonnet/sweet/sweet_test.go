@@ -125,17 +125,6 @@ func TestResolveViaTunnel(t *testing.T) {
 	}
 }
 
-func TestNotReadyErrors(t *testing.T) {
-	r := newRig()
-	c := r.client()
-	r.eng.Go("run", func(p *sim.Proc) {
-		if _, err := c.Fetch(p, anonnet.Request{SiteNode: "x"}); err != anonnet.ErrNotReady {
-			t.Errorf("fetch err = %v", err)
-		}
-	})
-	r.eng.Run()
-}
-
 func TestStateKeepsMailbox(t *testing.T) {
 	r := newRig()
 	c := r.client()

@@ -23,10 +23,31 @@ import (
 	"time"
 
 	"nymix/internal/anonnet"
+	"nymix/internal/nymerr"
 	"nymix/internal/sim"
 	"nymix/internal/vnet"
 	"nymix/internal/webworld"
 )
+
+func init() {
+	newClient := func(env anonnet.Env) *Client {
+		c := New(env.Net, env.CommNode, env.World.Relays(), env.World.Resolver())
+		if env.Opts.GuardSeed != "" {
+			c.SetGuardSeed(env.Opts.GuardSeed)
+		}
+		return c
+	}
+	anonnet.RegisterTransport("tor", anonnet.TransportInfo{},
+		func(env anonnet.Env) (anonnet.Transport, error) { return newClient(env), nil })
+	// Tor behind a StegoTorus-style camouflage transport: the censor's
+	// wire capture shows HTTPS, never Tor.
+	anonnet.RegisterTransport("tor-bridge", anonnet.TransportInfo{},
+		func(env anonnet.Env) (anonnet.Transport, error) {
+			c := newClient(env)
+			c.SetBridgeTransport("https")
+			return c, nil
+		})
+}
 
 // CellOverhead is Tor's fixed fractional wire overhead (cell headers
 // plus circuit-level control traffic); Figure 5 measures ~12%.
@@ -122,7 +143,8 @@ func (c *Client) dirNode() string { return c.relays[0].NodeName }
 // Start implements anonnet.Anonymizer: the full Tor bootstrap.
 func (c *Client) Start(p *sim.Proc) error {
 	if len(c.relays) < circuitHops {
-		return fmt.Errorf("tor: deployment has %d relays, need %d", len(c.relays), circuitHops)
+		return nymerr.Newf(anonnet.CodeNoExit, "tor: deployment has %d relays, need %d",
+			len(c.relays), circuitHops)
 	}
 	if !c.hasDir {
 		// Fetch consensus and descriptors from a directory authority.

@@ -185,19 +185,6 @@ func TestFetchObservedFromExit(t *testing.T) {
 	}
 }
 
-func TestFetchBeforeStartFails(t *testing.T) {
-	r := newRig()
-	c := r.client()
-	var err error
-	r.eng.Go("fetch", func(p *sim.Proc) {
-		_, err = c.Fetch(p, anonnet.Request{SiteNode: "x", RecvBytes: 1})
-	})
-	r.eng.Run()
-	if err != anonnet.ErrNotReady {
-		t.Fatalf("err = %v", err)
-	}
-}
-
 func TestResolveThroughCircuit(t *testing.T) {
 	r := newRig()
 	c := r.client()

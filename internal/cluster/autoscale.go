@@ -333,7 +333,7 @@ func (c *Cluster) retireHost(p *sim.Proc, h *Host) bool {
 			c.parkOnChange(p)
 			continue
 		}
-		dst := c.drainDestination(h, m.Footprint())
+		dst := c.drainDestination(h, m)
 		if dst == nil {
 			// Capacity vanished under the drain (a burst arrived).
 			// Abort: the host returns to service rather than wedging.
@@ -394,10 +394,11 @@ func (c *Cluster) nextDrainMember(h *Host) *fleet.Member {
 }
 
 // drainDestination returns the least-reserved placeable host that can
-// admit the footprint, or nil — destinationUnder with no share
-// ceiling: a drain takes any host with room.
-func (c *Cluster) drainDestination(src *Host, footprint int64) *Host {
-	return c.destinationUnder(src, footprint, 2)
+// admit the member's footprint and wire rate, or nil —
+// destinationUnder with no share ceiling: a drain takes any host with
+// room.
+func (c *Cluster) drainDestination(src *Host, m *fleet.Member) *Host {
+	return c.destinationUnder(src, m.Footprint(), m.WireRate(), 2)
 }
 
 // needsPreempt reports whether cluster-queue preemption has work: the

@@ -69,7 +69,7 @@ func (c *Cluster) planMove() (*fleet.Member, *Host) {
 		if m == nil {
 			continue
 		}
-		dst := c.coldDestination(h, m.Footprint())
+		dst := c.coldDestination(h, m)
 		if dst == nil {
 			continue
 		}
@@ -145,9 +145,10 @@ func (c *Cluster) coldestPersistent(h *Host) *fleet.Member {
 }
 
 // coldDestination returns the least-loaded host under the cold
-// watermark that can admit the footprint, or nil.
-func (c *Cluster) coldDestination(src *Host, footprint int64) *Host {
-	return c.destinationUnder(src, footprint, c.cfg.Rebalance.ColdShare)
+// watermark that can admit the member's footprint and wire rate, or
+// nil.
+func (c *Cluster) coldDestination(src *Host, m *fleet.Member) *Host {
+	return c.destinationUnder(src, m.Footprint(), m.WireRate(), c.cfg.Rebalance.ColdShare)
 }
 
 // destinationUnder returns the least-loaded placeable host (excluding
@@ -156,11 +157,14 @@ func (c *Cluster) coldDestination(src *Host, footprint int64) *Host {
 // its cold watermark (migrating onto a warm host would just move the
 // hot spot); a drain passes a ceiling above 1 — any host with room
 // will do.
-func (c *Cluster) destinationUnder(src *Host, footprint int64, shareCeiling float64) *Host {
+func (c *Cluster) destinationUnder(src *Host, footprint, wireRate int64, shareCeiling float64) *Host {
 	var best *Host
 	var bestShare float64
 	for _, h := range c.hosts {
 		if h == src || !h.placeable() || !h.orch.CanAdmit(footprint) {
+			continue
+		}
+		if wireRate > 0 && !h.orch.CanAdmitWire(wireRate) {
 			continue
 		}
 		share := h.ReservedShare()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"nymix/internal/anonnet"
 	"nymix/internal/sim"
 	"nymix/internal/vault"
 )
@@ -15,6 +16,24 @@ import (
 func (o Options) Footprint() int64 {
 	o.fillDefaults()
 	return o.AnonRAM + o.AnonDisk + o.CommRAM + o.CommDisk
+}
+
+// WireFootprint returns the idle uplink rate in bytes per second a
+// nymbox with these options holds on the host's wire even when no
+// request is in flight — the mixnet's constant-rate cover traffic.
+// Zero for demand-driven transports. Fleet wire admission reserves
+// against this figure the way RAM admission reserves Footprint.
+func (o Options) WireFootprint() float64 {
+	o.fillDefaults()
+	kinds := o.Chain
+	if len(kinds) == 0 {
+		kinds = []string{o.Anonymizer}
+	}
+	var sum float64
+	for _, kind := range kinds {
+		sum += anonnet.IdleWireRate(kind)
+	}
+	return sum
 }
 
 // StartNymAsync launches a nymbox on its own simulated process and

@@ -20,10 +20,15 @@ import (
 	"time"
 
 	"nymix/internal/anonnet"
-	"nymix/internal/anonnet/dissent"
-	"nymix/internal/anonnet/incognito"
-	"nymix/internal/anonnet/sweet"
-	"nymix/internal/anonnet/tor"
+
+	// Transport implementations register their factories from init;
+	// importing them is what makes their kinds buildable.
+	_ "nymix/internal/anonnet/dissent"
+	_ "nymix/internal/anonnet/incognito"
+	_ "nymix/internal/anonnet/mixnet"
+	_ "nymix/internal/anonnet/sweet"
+	_ "nymix/internal/anonnet/tor"
+
 	"nymix/internal/browser"
 	"nymix/internal/buddies"
 	"nymix/internal/cloud"
@@ -487,37 +492,28 @@ func (m *Manager) bootVM(p *sim.Proc, v *vm.VM) error {
 	return err
 }
 
-// buildAnonymizer constructs the pluggable communication tool.
-func (m *Manager) buildAnonymizer(opts Options, commName string) (anonnet.Anonymizer, error) {
-	build := func(kind string) (anonnet.Anonymizer, error) {
-		switch kind {
-		case "tor":
-			c := tor.New(m.net, commName, m.world.Relays(), m.world.Resolver())
-			if opts.GuardSeed != "" {
-				c.SetGuardSeed(opts.GuardSeed)
-			}
-			return c, nil
-		case "dissent":
-			return dissent.New(m.net, commName, m.world.DissentServers(), opts.DissentMembers, m.world.Resolver()), nil
-		case "incognito":
-			return incognito.New(m.net, commName, m.host.Node().Name(), m.world.ISPDNS().Name(), m.world.Resolver()), nil
-		case "sweet":
-			return sweet.New(m.net, commName, m.world.MailGateway().Name(), m.world.SweetProxy().Name(), m.world.Resolver()), nil
-		case "tor-bridge":
-			// Tor behind a StegoTorus-style camouflage transport: the
-			// censor's wire capture shows HTTPS, never Tor.
-			c := tor.New(m.net, commName, m.world.Relays(), m.world.Resolver())
-			if opts.GuardSeed != "" {
-				c.SetGuardSeed(opts.GuardSeed)
-			}
-			c.SetBridgeTransport("https")
-			return c, nil
-		default:
+// buildAnonymizer constructs the pluggable communication tool through
+// the anonnet transport registry.
+func (m *Manager) buildAnonymizer(opts Options, commName string) (anonnet.Transport, error) {
+	env := anonnet.Env{
+		Net:      m.net,
+		World:    m.world,
+		CommNode: commName,
+		HostNode: m.host.Node().Name(),
+		Opts: anonnet.TransportOpts{
+			GuardSeed:      opts.GuardSeed,
+			DissentMembers: opts.DissentMembers,
+		},
+	}
+	build := func(kind string) (anonnet.Transport, error) {
+		t, err := anonnet.NewTransport(kind, env)
+		if err != nil {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownAnon, kind)
 		}
+		return t, nil
 	}
 	if len(opts.Chain) > 0 {
-		var stages []anonnet.Anonymizer
+		var stages []anonnet.Transport
 		for _, kind := range opts.Chain {
 			s, err := build(kind)
 			if err != nil {

@@ -3,6 +3,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -51,6 +52,12 @@ type Config struct {
 	// Preempt arms the pressure-driven preemption daemon (disabled by
 	// default); see PreemptConfig.
 	Preempt PreemptConfig
+	// WireBudget is the admissible idle uplink rate in bytes per
+	// second (0 = uncapped). Constant-rate transports (the mixnet's
+	// cover traffic) hold wire even when no request is in flight, so
+	// admission reserves each member's Options.WireFootprint against
+	// this budget the way RAM admission reserves Footprint.
+	WireBudget float64
 }
 
 func (c *Config) fillDefaults(cores int) {
@@ -182,6 +189,7 @@ func (s Spec) EffectivePriority() Priority {
 type Member struct {
 	spec      Spec
 	footprint int64
+	wireRate  int64 // idle uplink bytes/sec held while admitted
 	pri       Priority
 	state     MemberState
 	nym       *core.Nym
@@ -216,6 +224,9 @@ type Member struct {
 	// cluster placement layer that spreads a batch across hosts must
 	// see each placement it just made.
 	pendingRes *sim.Future[struct{}]
+	// pendingWire is the wire-rate reservation enqueued alongside
+	// pendingRes; nil for members with no idle wire footprint.
+	pendingWire *sim.Future[struct{}]
 }
 
 // Checkpoint is where (and under which password) a member's state was
@@ -251,6 +262,11 @@ func (m *Member) RunningAt() sim.Time { return m.runningAt }
 // Footprint returns the host RAM the member reserves while admitted.
 func (m *Member) Footprint() int64 { return m.footprint }
 
+// WireRate returns the idle uplink rate (bytes/sec) the member holds
+// against the wire budget while admitted — the cover-traffic cost of
+// its anonymizer chain, zero for demand-driven transports.
+func (m *Member) WireRate() int64 { return m.wireRate }
+
 // Priority returns the member's resolved admission class.
 func (m *Member) Priority() Priority { return m.pri }
 
@@ -272,6 +288,7 @@ type Orchestrator struct {
 	cfg Config
 
 	ram       *sem // host RAM reservations, bytes
+	wire      *sem // idle uplink reservations, bytes/sec
 	startGate *sem // concurrent startup pipelines
 
 	members map[string]*Member
@@ -329,12 +346,17 @@ func New(mgr *core.Manager, cfg Config) *Orchestrator {
 			budget = 0
 		}
 	}
+	wireBudget := int64(-1) // uncapped by default
+	if cfg.WireBudget > 0 {
+		wireBudget = int64(cfg.WireBudget)
+	}
 	eng := mgr.Engine()
 	return &Orchestrator{
 		mgr:           mgr,
 		eng:           eng,
 		cfg:           cfg,
 		ram:           newSem(eng, budget),
+		wire:          newSem(eng, wireBudget),
 		startGate:     newSem(eng, int64(cfg.startGateWidth(host.CPU().Config().Cores))),
 		members:       make(map[string]*Member),
 		watchers:      sim.NewBroadcast(eng),
@@ -372,6 +394,28 @@ func (o *Orchestrator) CanAdmit(footprint int64) bool {
 	return o.ram.queued() == 0 && footprint <= o.HeadroomBytes()
 }
 
+// WireBudgetRate returns the admissible idle uplink budget in
+// bytes/sec, or -1 when uncapped.
+func (o *Orchestrator) WireBudgetRate() int64 {
+	if o.cfg.WireBudget <= 0 {
+		return -1
+	}
+	return o.wire.capacity
+}
+
+// WireReservedRate returns the idle uplink rate (bytes/sec) currently
+// admitted — the fleet's standing cover-traffic bill.
+func (o *Orchestrator) WireReservedRate() int64 { return o.wire.used }
+
+// QueuedWireLaunches returns launches parked for wire admission.
+func (o *Orchestrator) QueuedWireLaunches() int { return o.wire.queued() }
+
+// CanAdmitWire reports whether an idle wire rate fits the wire budget
+// immediately; always true on an uncapped host.
+func (o *Orchestrator) CanAdmitWire(rate int64) bool {
+	return o.wire.queued() == 0 && rate <= o.wire.capacity-o.wire.used
+}
+
 // PeakRAMBytes returns the highest physical host memory use sampled
 // during fleet operations.
 func (o *Orchestrator) PeakRAMBytes() int64 { return o.peakRAMBytes }
@@ -402,6 +446,13 @@ func (o *Orchestrator) CountState(s MemberState) int {
 // Running returns the number of live members.
 func (o *Orchestrator) Running() int { return o.CountState(StateRunning) }
 
+// WireRateFor returns the integral idle uplink rate (bytes/sec) a nym
+// with these options reserves against a host's wire budget — its
+// chain's cover-traffic cost, rounded up to whole bytes.
+func WireRateFor(opts core.Options) int64 {
+	return int64(math.Ceil(opts.WireFootprint()))
+}
+
 // Launch enqueues one nym for admission and starts its supervision
 // process. It returns immediately; the launch proceeds on its own
 // simulated process. A footprint that can never fit the admissible
@@ -413,6 +464,7 @@ func (o *Orchestrator) Launch(spec Spec) (*Member, error) {
 	m := &Member{
 		spec:      spec,
 		footprint: spec.Opts.Footprint(),
+		wireRate:  WireRateFor(spec.Opts),
 		pri:       spec.EffectivePriority(),
 		state:     StateQueued,
 		queuedAt:  o.eng.Now(),
@@ -426,9 +478,21 @@ func (o *Orchestrator) Launch(spec Spec) (*Member, error) {
 		o.recordFailure(spec.Name, "launch", m.lastErr)
 		return m, m.lastErr
 	}
+	if m.wireRate > o.wire.capacity {
+		m.state = StateFailed
+		m.lastErr = fmt.Errorf("%w: %q holds %d B/s of idle uplink, wire budget is %d",
+			ErrNeverAdmissible, spec.Name, m.wireRate, o.wire.capacity)
+		o.members[spec.Name] = m
+		o.order = append(o.order, spec.Name)
+		o.recordFailure(spec.Name, "launch", m.lastErr)
+		return m, m.lastErr
+	}
 	o.members[spec.Name] = m
 	o.order = append(o.order, spec.Name)
 	m.pendingRes = o.ram.reservePri(m.footprint, int(m.pri))
+	if m.wireRate > 0 {
+		m.pendingWire = o.wire.reservePri(m.wireRate, int(m.pri))
+	}
 	// A launch that queued is pressure the preemptor may act on; no
 	// state transition fires until admission, so arm it here.
 	o.schedulePreempt()
@@ -486,34 +550,58 @@ func (o *Orchestrator) superviseLaunch(m *Member, delay time.Duration) {
 func (o *Orchestrator) runLaunch(p *sim.Proc, m *Member) {
 	res := m.pendingRes
 	m.pendingRes = nil
+	wres := m.pendingWire
+	m.pendingWire = nil
 	for {
-		if m.detached && res == nil {
+		if m.detached && res == nil && wres == nil {
 			return
 		}
 		if res == nil {
 			res = o.ram.reservePri(m.footprint, int(m.pri))
 		}
-		// An already-enqueued reservation must be seen through even if
-		// the member detaches meanwhile: its eventual grant is released
-		// below, never leaked in the semaphore's queue.
+		if wres == nil && m.wireRate > 0 {
+			wres = o.wire.reservePri(m.wireRate, int(m.pri))
+		}
+		// Already-enqueued reservations must be seen through even if
+		// the member detaches meanwhile: each eventual grant is
+		// released below, never leaked in a semaphore's queue. Both
+		// queues admit strict priority-FIFO with the same ordering, so
+		// holding one grant while parked for the other cannot deadlock.
 		_, err := sim.Await(p, res)
 		res = nil
+		ramHeld := err == nil
+		var werr error
+		wireHeld := false
+		if wres != nil {
+			_, werr = sim.Await(p, wres)
+			wres = nil
+			wireHeld = werr == nil
+		}
+		if err == nil {
+			err = werr
+		}
 		if err != nil {
 			// Oversized for the whole budget — Launch pre-checks this, so
 			// only a shrunken budget could trip it; fail, don't wedge.
+			if ramHeld {
+				o.ram.release(m.footprint)
+			}
+			if wireHeld {
+				o.wire.release(m.wireRate)
+			}
 			m.lastErr = err
 			o.recordFailure(m.spec.Name, "launch", err)
 			o.setState(m, StateFailed)
 			return
 		}
 		if m.detached {
-			o.ram.release(m.footprint)
+			o.releaseAdmission(m)
 			return
 		}
 		sim.Await(p, o.startGate.reserve(1))
 		if m.detached {
 			o.startGate.release(1)
-			o.ram.release(m.footprint)
+			o.releaseAdmission(m)
 			return
 		}
 		o.setState(m, StateStarting)
@@ -532,7 +620,7 @@ func (o *Orchestrator) runLaunch(p *sim.Proc, m *Member) {
 			o.setState(m, StateRunning)
 			return
 		}
-		o.ram.release(m.footprint)
+		o.releaseAdmission(m)
 		m.lastErr = err
 		o.recordFailure(m.spec.Name, "launch", err)
 		if m.restarts >= o.cfg.Restart.MaxRestarts {
@@ -544,6 +632,16 @@ func (o *Orchestrator) runLaunch(p *sim.Proc, m *Member) {
 		if o.cfg.Restart.Backoff > 0 {
 			p.Sleep(o.cfg.Restart.Backoff)
 		}
+	}
+}
+
+// releaseAdmission returns an admitted member's RAM and wire-rate
+// reservations to their semaphores. Every release site pairs the two:
+// a member either holds both grants or neither.
+func (o *Orchestrator) releaseAdmission(m *Member) {
+	o.ram.release(m.footprint)
+	if m.wireRate > 0 {
+		o.wire.release(m.wireRate)
 	}
 }
 
@@ -588,7 +686,7 @@ func (o *Orchestrator) FailNym(p *sim.Proc, name string, cause error) error {
 	// pages are actually free.
 	o.mgr.Host().DestroyVM(p, nym.AnonVM())
 	o.mgr.TerminateNym(p, nym) // best effort; the AnonVM is already gone
-	o.ram.release(m.footprint)
+	o.releaseAdmission(m)
 	if restart {
 		o.superviseLaunch(m, o.cfg.Restart.Backoff)
 	}
@@ -615,8 +713,8 @@ func (o *Orchestrator) AwaitRunning(p *sim.Proc, target int) error {
 				o.Running(), target, o.CountState(StateFailed))
 		}
 		if o.queueStalled() {
-			return nymerr.Newf(CodeAdmissionStalled, "fleet: %d/%d running and %d launches stalled in the admission queue (the FIFO head needs more RAM than remains free)",
-				o.Running(), target, o.ram.queued())
+			return nymerr.Newf(CodeAdmissionStalled, "fleet: %d/%d running and %d launches stalled in the admission queue (the FIFO head needs more RAM or wire than remains free)",
+				o.Running(), target, o.ram.queued()+o.wire.queued())
 		}
 		o.parkOnChange(p)
 	}
@@ -651,8 +749,12 @@ func (o *Orchestrator) queueStalled() bool {
 		}
 	}
 	// Queued members whose supervisor procs have not yet enqueued a
-	// reservation are still in flight, not stalled.
-	return queued > 0 && queued == o.ram.queued()
+	// reservation are still in flight, not stalled. A member parks in
+	// the RAM queue first and the wire queue second; when every queued
+	// member sits in one of them, no admission can proceed on its own.
+	// (Each member holds at most one slot per queue, so either count
+	// matching the queued total means everyone is wedged.)
+	return queued > 0 && (queued == o.ram.queued() || queued == o.wire.queued())
 }
 
 // maxSimultaneous bounds how many launched members the RAM budget can
@@ -820,7 +922,7 @@ func (o *Orchestrator) Stop(p *sim.Proc, name string) error {
 	o.setState(m, StateStopping)
 	err := o.mgr.TerminateNym(p, nym)
 	o.recordFailure(name, "stop", err)
-	o.ram.release(m.footprint)
+	o.releaseAdmission(m)
 	o.setState(m, StateStopped)
 	return err
 }
@@ -881,7 +983,7 @@ func (o *Orchestrator) StopAll(p *sim.Proc) error {
 			o.recordFailure(stopping[i].spec.Name, "stop", err)
 		}
 		m := stopping[i]
-		o.ram.release(m.footprint)
+		o.releaseAdmission(m)
 		m.nym = nil
 		o.setState(m, StateStopped)
 	}

@@ -205,7 +205,7 @@ func (o *Orchestrator) preemptMember(p *sim.Proc, m *Member) error {
 	o.setState(m, StateStopping)
 	m.lastErr = o.mgr.TerminateNym(p, nym) // best effort; the nym is retired regardless
 	o.recordFailure(m.spec.Name, "evict", m.lastErr)
-	o.ram.release(m.footprint)
+	o.releaseAdmission(m)
 	o.setState(m, StatePreempted)
 	if durable {
 		o.preempted.Evicted++

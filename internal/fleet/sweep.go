@@ -262,12 +262,13 @@ func (o *Orchestrator) AwaitSweepsIdle(p *sim.Proc) {
 }
 
 // underSavePressure reports the conditions under which the scheduler
-// stands aside: launches queued for admission (a ramp or migration
-// wants the wire and the chip first) or the preemption machinery armed
-// or mid-pass (checkpointing a victim it is about to evict would race
-// the eviction's own save).
+// stands aside: launches queued for RAM or wire admission (a ramp or
+// migration wants the wire and the chip first; cover-traffic budgets
+// count too) or the preemption machinery armed or mid-pass
+// (checkpointing a victim it is about to evict would race the
+// eviction's own save).
 func (o *Orchestrator) underSavePressure() bool {
-	return o.ram.queued() > 0 || o.preemptArmed || o.preempting
+	return o.ram.queued() > 0 || o.wire.queued() > 0 || o.preemptArmed || o.preempting
 }
 
 // sweepTick is one scheduler firing.

@@ -82,6 +82,15 @@ type Report struct {
 	CheckpointWireBytes     int64
 	CheckpointBaselineBytes int64
 	MigrationWireBytes      int64
+
+	// Cover-traffic wire budgets. WireReservedRate is the standing
+	// idle uplink (bytes/sec) the admitted fleet holds against
+	// WireBudgetRate (-1 = uncapped); CoverWireBytes is what the
+	// running members' constant-rate transports have actually sent —
+	// uplink the pool pays even when every browser is idle.
+	WireReservedRate int64
+	WireBudgetRate   int64
+	CoverWireBytes   int64
 }
 
 // WireSavings is the fraction of the monolithic baseline the
@@ -102,6 +111,8 @@ func FromFleet(o *fleet.Orchestrator) Report {
 	b.addFailures("", o.Failures())
 	b.addSweeps(o.SweepReport())
 	b.r.Preempted = o.Preemptions()
+	b.r.WireReservedRate = o.WireReservedRate()
+	b.r.WireBudgetRate = o.WireBudgetRate()
 	return b.finish()
 }
 
@@ -115,6 +126,15 @@ func FromCluster(c *cluster.Cluster) Report {
 	b.r.Migrations = st.Migrations
 	b.r.Preempted = st.Preempted
 	b.r.MigrationWireBytes = st.MigrationWireBytes
+	b.r.WireReservedRate = st.WireReservedRate
+	for _, h := range c.Hosts() {
+		budget := h.Fleet().WireBudgetRate()
+		if budget < 0 {
+			b.r.WireBudgetRate = -1
+			break
+		}
+		b.r.WireBudgetRate += budget
+	}
 	hosts := append(c.Hosts(), c.RetiredHosts()...)
 	if len(hosts) > 0 {
 		b.r.At = hosts[0].Manager().Engine().Now()
@@ -152,6 +172,13 @@ func (b *builder) addMembers(host string, members []*fleet.Member, launchedAt fu
 			b.r.Failed++
 		}
 		b.r.Restarts += m.Restarts()
+		if nym := m.Nym(); nym != nil {
+			// Constant-rate transports report the cover traffic they
+			// have spent; demand-driven backends simply lack the method.
+			if cov, ok := nym.Anonymizer().(interface{ CoverWireBytes() int64 }); ok {
+				b.r.CoverWireBytes += cov.CoverWireBytes()
+			}
+		}
 		if m.RunningAt() > 0 {
 			start := m.QueuedAt()
 			if launchedAt != nil {
@@ -284,6 +311,12 @@ func (r Report) Render() string {
 	fmt.Fprintf(&b, "  ckpt wire:   %s shipped vs %s baseline (%.0f%% saved)   migration wire: %s\n",
 		fmtBytes(r.CheckpointWireBytes), fmtBytes(r.CheckpointBaselineBytes),
 		100*r.WireSavings(), fmtBytes(r.MigrationWireBytes))
+	budget := "uncapped"
+	if r.WireBudgetRate >= 0 {
+		budget = fmtBytes(r.WireBudgetRate) + "/s"
+	}
+	fmt.Fprintf(&b, "  cover wire:  %s/s reserved of %s   %s sent while idle or busy\n",
+		fmtBytes(r.WireReservedRate), budget, fmtBytes(r.CoverWireBytes))
 	fmt.Fprintf(&b, "  failures:    %d recorded, %d unclassified\n", r.TotalFailures, r.Unclassified)
 	for _, fc := range r.FailuresByCode {
 		fmt.Fprintf(&b, "    %-36s %d\n", string(fc.Code), fc.Count)

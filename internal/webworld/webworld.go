@@ -28,6 +28,12 @@ const LANTag = "lan"
 // every site, provider, and relay attached to the backbone.
 const CoreRegion = "core"
 
+// MixRegion labels the mix-cascade enclave: the mixnet gateway router
+// and every mix node. It is its own severable region so chaos
+// experiments can cut one hosting region off from the cascade while
+// the rest of the fleet's cover traffic keeps flowing.
+const MixRegion = "mixnet"
+
 // SiteProfile models a web site's weight and behaviour. Sizes are
 // bytes.
 type SiteProfile struct {
@@ -108,6 +114,7 @@ type World struct {
 	fileHost *Site
 	relays   []Relay
 	dissent  []string              // Dissent anytrust server node names
+	mixes    []string              // mix-cascade node names, entry first
 	regions  map[string]*vnet.Node // regional gateway routers by region name
 	dns      map[string]string
 	// trackerLog collects third-party tracker observations: what
@@ -137,11 +144,13 @@ type Config struct {
 	Sites        []SiteProfile
 	RelayCount   int // Tor relays in the DeterLab enclave
 	DissentCount int // Dissent anytrust servers
+	MixCount     int // mix-cascade hops in the MixRegion enclave
 }
 
-// DefaultConfig mirrors the paper's testbed.
+// DefaultConfig mirrors the paper's testbed, extended with a 3-hop
+// mix cascade for the mixnet transport.
 func DefaultConfig() Config {
-	return Config{Sites: DefaultSites(), RelayCount: 9, DissentCount: 3}
+	return Config{Sites: DefaultSites(), RelayCount: 9, DissentCount: 3, MixCount: 3}
 }
 
 // Link parameters. The Nymix host's uplink is rate limited to
@@ -206,6 +215,19 @@ func Build(net *vnet.Network, cfg Config) *World {
 		net.Connect(n, w.deterlab, relayCfg)
 		w.dissent = append(w.dissent, name)
 	}
+	// The mix cascade lives in its own enclave behind a regional
+	// gateway, so SeverRegions can cut a hosting region off from the
+	// mixes without touching the rest of the backbone.
+	if cfg.MixCount > 0 {
+		mixGW := net.AddRouter("mixnet-gw").WithRegion(MixRegion).Node
+		net.Connect(mixGW, w.internet, backboneCfg)
+		for i := 0; i < cfg.MixCount; i++ {
+			name := mixName(i)
+			n := net.AddNode(name).SetRegion(MixRegion)
+			net.Connect(n, mixGW, relayCfg)
+			w.mixes = append(w.mixes, name)
+		}
+	}
 	return w
 }
 
@@ -218,6 +240,8 @@ func BuildDefault(eng *sim.Engine) (*vnet.Network, *World) {
 func relayName(i int) string { return "relay-" + string(rune('a'+i)) }
 
 func dissentName(i int) string { return "dissent-srv-" + string(rune('0'+i)) }
+
+func mixName(i int) string { return "mix-" + string(rune('a'+i)) }
 
 func (w *World) addSiteAt(prof SiteProfile, attach *vnet.Node, cfg vnet.LinkConfig) *Site {
 	node := w.net.AddNode("site:" + prof.Host)
@@ -284,6 +308,10 @@ func (w *World) Relays() []Relay { return w.relays }
 
 // DissentServers returns the anytrust server node names.
 func (w *World) DissentServers() []string { return w.dissent }
+
+// MixCascade returns the mix-cascade node names in hop order (entry
+// first, exit last).
+func (w *World) MixCascade() []string { return w.mixes }
 
 // Lookup resolves a DNS host name to a network node name.
 func (w *World) Lookup(host string) (string, bool) {
