@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	nymbench [-seed N] [-run all|fig3|fig4|fig5|fig6|fig7|table1|validation|ablations|vault|fleet|shards|elastic|sweeps|partition|censorship|summary]
+//	nymbench [-seed N] [-run all|fig3|fig4|fig5|fig6|fig7|table1|validation|ablations|vault|fleet|shards|elastic|sweeps|partition|censorship|economy|summary]
 //	         [-nyms N] [-hosts N]   # shards sizing (default 1024 over 4); elastic sizing (default 96 over 2)
 //	         [-rounds N]            # sweeps: steady-state rounds (default 8); -nyms sizes the sweep fleet (default 32)
+//	                                # economy: churn rounds (default 16); -nyms/-hosts size the pool (default 1024 over 4)
 //	         [-json]                # also write BENCH_<run>.json (sim-time results + wall-clock and allocs)
 package main
 
@@ -45,7 +46,7 @@ type benchFile struct {
 
 func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, vault, fleet, shards, elastic, sweeps, partition, censorship, mixnet, summary")
+	run := flag.String("run", "all", "experiment to run: all, fig3, fig4, fig5, fig6, fig7, table1, validation, ablations, vault, fleet, shards, elastic, sweeps, partition, censorship, mixnet, economy, summary")
 	nyms := flag.Int("nyms", 0, "shards: fleet size (0 = 1024); elastic: burst size (0 = 96); sweeps: fleet size (0 = 32)")
 	hosts := flag.Int("hosts", 0, "shards: pool size (0 = 4); elastic: initial pool (0 = 2)")
 	rounds := flag.Int("rounds", 0, "sweeps: steady-state rounds (0 = 8)")
@@ -175,6 +176,19 @@ func main() {
 			}
 			return experiments.RenderCensorshipDPI(res), res, nil
 		},
+		"economy": func(s uint64) (string, any, error) {
+			res, err := experiments.Economy(s, *nyms, *hosts, *rounds)
+			if err != nil {
+				return "", nil, err
+			}
+			// The economy run is also the gate: adaptive cadence must
+			// strictly beat fixed-interval on total wire with staleness
+			// p95 no worse, or the bench itself fails.
+			if err := res.Gate(); err != nil {
+				return "", nil, err
+			}
+			return experiments.RenderEconomy(res), res, nil
+		},
 		"mixnet": func(s uint64) (string, any, error) {
 			res, err := experiments.MixnetFrontier(s)
 			if err != nil {
@@ -185,7 +199,7 @@ func main() {
 		"summary": summary,
 	}
 
-	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "vault", "fleet", "shards", "elastic", "sweeps", "partition", "censorship", "mixnet", "summary"}
+	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "validation", "ablations", "vault", "fleet", "shards", "elastic", "sweeps", "economy", "partition", "censorship", "mixnet", "summary"}
 	var selected []string
 	if *run == "all" {
 		selected = order

@@ -60,7 +60,7 @@ type Config struct {
 	RegionFor func(hostIndex int) string
 }
 
-func (c *Config) fillDefaults() {
+func (c *Config) fillDefaults() error {
 	if c.Hosts <= 0 {
 		c.Hosts = 4
 	}
@@ -91,9 +91,12 @@ func (c *Config) fillDefaults() {
 	if c.ProviderQuota == 0 {
 		c.ProviderQuota = 2 << 30
 	}
-	c.Rebalance.fillDefaults()
+	if err := c.Rebalance.fillDefaults(); err != nil {
+		return err
+	}
 	c.Autoscale.fillDefaults(c.Hosts)
 	c.Preempt.fillDefaults()
+	return nil
 }
 
 // HostState is a pool member's scheduling state — the autoscaler's
@@ -211,6 +214,18 @@ type Cluster struct {
 	rebalScheduled bool
 	rebalancing    bool
 
+	// Cost-aware rebalance batching: moves the planner approved but
+	// deferred into idle sweep slots (pendingMoves, FIFO), the
+	// members currently queued (so re-planning skips them), and the
+	// plan/execute/drop counters the economy telemetry reads.
+	pendingMoves []plannedMove
+	moveQueued   map[string]bool
+	movesPlanned int
+
+	// gcCursor rotates opportunistic VaultGC fairly over each host's
+	// member list across idle slots.
+	gcCursor map[string]int
+
 	// Autoscaler state: the pressure/idle clocks (-1 while clear),
 	// armed dwell timers, in-flight grow/drain work, and the scale
 	// event log the elastic experiment renders.
@@ -245,7 +260,9 @@ type Cluster struct {
 // cloud-provider set so vault checkpoints written through any host
 // are loadable from every other.
 func New(eng *sim.Engine, world *webworld.World, cfg Config) (*Cluster, error) {
-	cfg.fillDefaults()
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
 	c := &Cluster{
 		eng:        eng,
 		world:      world,
@@ -254,6 +271,8 @@ func New(eng *sim.Engine, world *webworld.World, cfg Config) (*Cluster, error) {
 		specs:      make(map[string]fleet.Spec),
 		launchedAt: make(map[string]sim.Time),
 		migrating:  make(map[string]bool),
+		moveQueued: make(map[string]bool),
+		gcCursor:   make(map[string]int),
 		launchErrs: make(map[string]error),
 		watchers:   sim.NewBroadcast(eng),
 		queueSince: -1,

@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"nymix/internal/core"
+	"nymix/internal/nymerr"
+	"nymix/internal/sim"
+	"nymix/internal/webworld"
+)
+
+// TestRebalanceWatermarkValidation is the regression table for the
+// fillDefaults hole where an explicitly low HotShare with a defaulted
+// ColdShare produced ColdShare >= HotShare — a pair under which every
+// destination is simultaneously too warm to receive and cool enough
+// to shed.
+func TestRebalanceWatermarkValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     RebalanceConfig
+		wantErr bool
+	}{
+		{name: "all defaults", cfg: RebalanceConfig{}},
+		{name: "explicit valid pair", cfg: RebalanceConfig{HotShare: 0.9, ColdShare: 0.5}},
+		// The bug: HotShare <= the 0.6 default ColdShare used to leave
+		// ColdShare >= HotShare silently.
+		{name: "low hot, defaulted cold", cfg: RebalanceConfig{HotShare: 0.5}},
+		{name: "hot at default cold", cfg: RebalanceConfig{HotShare: 0.6}},
+		{name: "cold above hot", cfg: RebalanceConfig{HotShare: 0.5, ColdShare: 0.6}, wantErr: true},
+		{name: "cold equals hot", cfg: RebalanceConfig{HotShare: 0.85, ColdShare: 0.85}, wantErr: true},
+		{name: "hot above one", cfg: RebalanceConfig{HotShare: 1.2}, wantErr: true},
+		{name: "negative hot", cfg: RebalanceConfig{HotShare: -0.1}, wantErr: true},
+		{name: "negative cold", cfg: RebalanceConfig{ColdShare: -0.1}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			err := cfg.fillDefaults()
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("fillDefaults(%+v) accepted an invalid pair: %+v", tc.cfg, cfg)
+				}
+				if got := nymerr.Classify(err); got != CodeBadWatermarks {
+					t.Fatalf("error classified %q, want %s: %v", got, CodeBadWatermarks, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("fillDefaults(%+v): %v", tc.cfg, err)
+			}
+			if cfg.ColdShare <= 0 || cfg.HotShare <= 0 || cfg.ColdShare >= cfg.HotShare {
+				t.Fatalf("fillDefaults(%+v) left watermarks cold=%.3f hot=%.3f, want 0 < cold < hot",
+					tc.cfg, cfg.ColdShare, cfg.HotShare)
+			}
+		})
+	}
+}
+
+// TestNewRejectsInvalidWatermarks: the validation surfaces through
+// cluster construction as a typed error, not a latent misconfig.
+func TestNewRejectsInvalidWatermarks(t *testing.T) {
+	eng := sim.NewEngine(1)
+	_, world := webworld.BuildDefault(eng)
+	_, err := New(eng, world, Config{
+		Rebalance: RebalanceConfig{Enabled: true, HotShare: 0.5, ColdShare: 0.7},
+	})
+	if err == nil {
+		t.Fatal("New accepted ColdShare > HotShare")
+	}
+	if got := nymerr.Classify(err); got != CodeBadWatermarks {
+		t.Fatalf("error classified %q, want %s: %v", got, CodeBadWatermarks, err)
+	}
+}
+
+// launchSerially places specs one at a time so RunningAt order — and
+// therefore the rebalancer's coldest-victim order — is deterministic.
+func launchSerially(t *testing.T, p *sim.Proc, c *Cluster, n int) {
+	t.Helper()
+	sp := specs(n, core.ModelPersistent)
+	for i, s := range sp {
+		if err := c.Launch(s); err != nil {
+			t.Fatalf("launch %s: %v", s.Name, err)
+		}
+		if err := c.AwaitRunning(p, i+1); err != nil {
+			t.Fatalf("await %d: %v", i+1, err)
+		}
+	}
+}
+
+// TestRebalancePassSkipsFailedVictim is the same-victim regression:
+// when a move fails with the victim still running (here its vault
+// destination never resolves, so every source save dies), the pass
+// must spend its remaining budget on OTHER members instead of
+// re-planning the identical victim MaxMovesPerPass times and moving
+// nothing.
+func TestRebalancePassSkipsFailedVictim(t *testing.T) {
+	eng, c := newCluster(t, 21, 2, 4<<30, Config{
+		Policy: PackFirst{},
+		Rebalance: RebalanceConfig{
+			Enabled:         true,
+			Interval:        time.Hour, // driven manually below
+			HotShare:        0.5,
+			ColdShare:       0.45,
+			MaxMovesPerPass: 2,
+		},
+		// nym00's checkpoints have nowhere to go: every migration save
+		// for it fails, with the member still healthy on its host.
+		DestFor: func(name string) core.VaultDest {
+			providers := []string{"dropbin"}
+			if name == "nym00" {
+				providers = []string{"no-such-provider"}
+			}
+			return core.VaultDest{
+				Providers:       providers,
+				Account:         "acct-" + name,
+				AccountPassword: "cloud-pw",
+			}
+		},
+	})
+	run(t, eng, func(p *sim.Proc) {
+		launchSerially(t, p, c, 4)
+		victim, dst := c.planMove(nil)
+		if victim == nil || victim.Name() != "nym00" || dst == nil {
+			t.Fatalf("precondition: planned victim %v, want nym00 with a destination", victim)
+		}
+		c.rebalancePass(p)
+		if got := c.Migrations(); got != 1 {
+			t.Fatalf("pass completed %d migrations, want 1 (budget burned on the failing victim)", got)
+		}
+		moved := c.Hosts()[1].Fleet().Members()
+		if len(moved) != 1 || moved[0].Name() == "nym00" {
+			t.Fatalf("cold host holds %v, want exactly one member other than nym00", moved)
+		}
+		if h := c.HostOf("nym00"); h == nil || h.Name() != c.Hosts()[0].Name() {
+			t.Fatalf("nym00 placed on %v, want left on the hot host after its failed move", h)
+		}
+	})
+}
+
+// TestRebalancePassAbsorbsCrashMidSave: FailNym kills the planned
+// victim in the middle of its migration checkpoint. The pass must
+// absorb the failure — the remaining budget moves another member —
+// and the crashed nym restarts without wedging the cluster.
+func TestRebalancePassAbsorbsCrashMidSave(t *testing.T) {
+	eng, c := newCluster(t, 22, 2, 4<<30, Config{
+		Policy: PackFirst{},
+		Rebalance: RebalanceConfig{
+			Enabled:         true,
+			Interval:        time.Hour, // driven manually below
+			HotShare:        0.5,
+			ColdShare:       0.45,
+			MaxMovesPerPass: 2,
+		},
+	})
+	eng.Go("chaos", func(p *sim.Proc) {
+		// Wait for the pass's first migration to enter its source save,
+		// then crash the victim under it.
+		for i := 0; i < 20000; i++ {
+			if c.migrating["nym00"] {
+				src := c.HostOf("nym00")
+				if src != nil {
+					src.Fleet().FailNym(p, "nym00", nil)
+				}
+				return
+			}
+			p.Sleep(20 * time.Millisecond)
+		}
+	})
+	run(t, eng, func(p *sim.Proc) {
+		launchSerially(t, p, c, 4)
+		c.rebalancePass(p)
+		if got := c.Migrations(); got < 1 {
+			t.Fatalf("pass completed %d migrations, want >= 1 despite the crashed victim", got)
+		}
+		for _, m := range c.Hosts()[1].Fleet().Members() {
+			if m.Name() == "nym00" {
+				t.Fatal("crashed victim migrated anyway; its save should have died with it")
+			}
+		}
+	})
+}
+
+// TestCostAwareVictimPricing: the cost-aware planner prefers the
+// member whose vault is already warm (restore priced from the chunk
+// index, nothing dirty to ship) over members that were never saved —
+// a cold index prices as a full-footprint restore, the most expensive
+// move on the host.
+func TestCostAwareVictimPricing(t *testing.T) {
+	eng, c := newCluster(t, 23, 2, 4<<30, Config{
+		Policy: PackFirst{},
+		Rebalance: RebalanceConfig{
+			Enabled: true, Interval: time.Hour,
+			HotShare: 0.5, ColdShare: 0.45, CostAware: true,
+		},
+	})
+	run(t, eng, func(p *sim.Proc) {
+		launchSerially(t, p, c, 3)
+		h0 := c.Hosts()[0]
+		// Only nym01 has a checkpoint: its chunk index is warm and its
+		// dirty delta zero, so its priced move wire is a fraction of
+		// the full-footprint fallback the others get.
+		if _, err := h0.Fleet().CheckpointNym(p, "nym01", c.cfg.VaultPassword, c.cfg.DestFor("nym01")); err != nil {
+			t.Fatalf("checkpoint nym01: %v", err)
+		}
+		got := c.cheapestVictim(h0, nil)
+		if got == nil || got.Name() != "nym01" {
+			t.Fatalf("cheapest victim = %v, want nym01 (warm vault, clean)", got)
+		}
+		cost := h0.Manager().MigrationCost(got.Nym(), c.cfg.DestFor(got.Name()))
+		if cost.RestoreBytes <= 0 {
+			t.Fatalf("priced restore = %d bytes, want > 0 from the warm chunk index", cost.RestoreBytes)
+		}
+		if cost.Wire() >= got.Footprint() {
+			t.Fatalf("warm move priced %d >= footprint %d; index pricing is not engaged", cost.Wire(), got.Footprint())
+		}
+		// With the warm member excluded, the planner falls back to a
+		// cold-index member rather than returning nothing.
+		if alt := c.cheapestVictim(h0, map[string]bool{"nym01": true}); alt == nil || alt.Name() == "nym01" {
+			t.Fatalf("skip map ignored: got %v", alt)
+		}
+	})
+}
+
+// TestBatchedMovesExecuteInIdleSweepSlots: with BatchIntoSweeps the
+// rebalance timer only plans; the migration itself runs inside a
+// sweep slot that held the provider token with nothing dirty to save.
+func TestBatchedMovesExecuteInIdleSweepSlots(t *testing.T) {
+	eng, c := newCluster(t, 24, 2, 4<<30, Config{
+		Policy: PackFirst{},
+		Rebalance: RebalanceConfig{
+			Enabled:         true,
+			Interval:        10 * time.Second,
+			HotShare:        0.5,
+			ColdShare:       0.45,
+			MaxMovesPerPass: 1,
+			CostAware:       true,
+			BatchIntoSweeps: true,
+		},
+	})
+	run(t, eng, func(p *sim.Proc) {
+		if err := c.LaunchAll(specs(4, core.ModelPersistent)); err != nil {
+			t.Fatalf("launch: %v", err)
+		}
+		if err := c.AwaitRunning(p, 4); err != nil {
+			t.Fatalf("await: %v", err)
+		}
+		if err := c.StartSweeps(SweepConfig{Interval: 20 * time.Second}); err != nil {
+			t.Fatalf("start sweeps: %v", err)
+		}
+		p.Sleep(4 * time.Minute)
+		c.StopSweeps()
+		c.AwaitSweepsIdle(p)
+		rep := c.SweepReport()
+		if rep.IdleSlots == 0 {
+			t.Fatal("no idle slots over 4 minutes of a settling pool")
+		}
+		if rep.MovesPlanned < 1 {
+			t.Fatalf("rebalancer planned %d moves, want >= 1", rep.MovesPlanned)
+		}
+		if rep.MovesExecuted < 1 {
+			t.Fatalf("idle slots executed %d batched moves, want >= 1 (planned %d, dropped %d)",
+				rep.MovesExecuted, rep.MovesPlanned, rep.MovesDropped)
+		}
+		if c.Migrations() < 1 {
+			t.Fatal("no migration completed via the batched path")
+		}
+		if got := c.Hosts()[1].Fleet().Running(); got < 1 {
+			t.Fatalf("cold host runs %d members after batched rebalance, want >= 1", got)
+		}
+		// The batched path must not leave ghosts: nothing queued twice,
+		// nothing stuck mid-migration.
+		if len(c.migrating) != 0 {
+			t.Fatalf("migrating guard not empty after settle: %v", c.migrating)
+		}
+		for name := range c.moveQueued {
+			if h := c.HostOf(name); h == nil {
+				t.Fatalf("queued move for unplaced nym %q", name)
+			}
+		}
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"nymix/internal/cloud"
 	"nymix/internal/core"
 	"nymix/internal/fleet"
 	"nymix/internal/nymerr"
@@ -44,6 +45,27 @@ type SweepConfig struct {
 	Concurrency int
 	// SaveAll disables dirty-skip on every host (the naive mode).
 	SaveAll bool
+	// Adaptive turns on each host pass's churn-adaptive cadence: a
+	// member is saved when its dirty delta crosses TargetDeltaBytes
+	// or its RPO deadline nears, and deferred otherwise (see
+	// fleet.SweepConfig). The coordinator passes each host an honest
+	// next-pass horizon of two Intervals — its slot cadence plus one
+	// skipped round.
+	Adaptive bool
+	// RPO is the per-member staleness ceiling the adaptive cadence
+	// enforces (fleet default when zero).
+	RPO time.Duration
+	// RPOFor overrides RPO per member (fleet semantics).
+	RPOFor func(*fleet.Member) time.Duration
+	// TargetDeltaBytes is the dirty delta worth a save (fleet default
+	// when zero).
+	TargetDeltaBytes int64
+	// GC prunes dead vault chunks opportunistically during idle slots
+	// — the provider token is held and the host had nothing dirty, so
+	// the reclaim wire rides a window the cadence already paid for.
+	GC bool
+	// GCPerSlot bounds members GC'd per idle slot (default 2).
+	GCPerSlot int
 	// Password seals checkpoints (default: the cluster's
 	// VaultPassword). DestFor maps nym names to vault destinations
 	// (default: the cluster's DestFor).
@@ -57,6 +79,9 @@ func (sc *SweepConfig) fillDefaults(c *Config) {
 	}
 	if sc.Tokens <= 0 {
 		sc.Tokens = 1
+	}
+	if sc.GCPerSlot <= 0 {
+		sc.GCPerSlot = 2
 	}
 	if sc.Password == "" {
 		sc.Password = c.VaultPassword
@@ -80,6 +105,15 @@ type SweepSlot struct {
 	Start, End sim.Time
 	Paused     bool
 	Record     fleet.SweepRecord
+	// Idle marks a slot whose pass saved nothing and erred nowhere —
+	// the windows the coordinator spends on batched rebalance moves
+	// and opportunistic GC, recorded below.
+	Idle             bool
+	Moves            int // batched rebalance moves executed in this slot
+	MovesDropped     int // queued moves discarded as stale in this slot
+	GCRuns           int // members garbage-collected in this slot
+	GCReclaimedBytes int64
+	GCWireBytes      int64
 }
 
 // ClusterSweepReport aggregates coordinator telemetry across rounds
@@ -99,18 +133,42 @@ type ClusterSweepReport struct {
 	// Busy counts members a pass left to another save already in
 	// flight (a migration checkpoint, an eviction): counted eligible
 	// but neither saved nor skipped-clean, so Saves+Skips+Busy+Errors
-	// accounts for Eligible pool-wide.
-	Busy   int
-	Errors int
+	// accounts for Eligible pool-wide. Deferred counts members the
+	// adaptive cadence postponed (dirty, but under the delta target
+	// with RPO headroom) — with Adaptive on, Deferred joins that
+	// accounting identity.
+	Busy     int
+	Deferred int
+	Errors   int
 	// UploadedBytes/LoginBytes/BaselineBytes sum over host passes.
 	UploadedBytes int64
 	LoginBytes    int64
 	BaselineBytes int64
+	// NewChunks/TotalChunks sum each saved checkpoint's uploaded and
+	// full manifest chunk counts pool-wide — the dedup ratio.
+	NewChunks   int
+	TotalChunks int
 	// LatencyP50/P95 are nearest-rank percentiles over per-host pass
 	// latencies.
 	LatencyP50 time.Duration
 	LatencyP95 time.Duration
-	Slots      []SweepSlot
+	// StalenessP50/P95/Max are percentiles over per-save checkpoint
+	// staleness, pooled across every host's samples so each save
+	// weighs equally (not an average of per-host quantiles).
+	StalenessP50 time.Duration
+	StalenessP95 time.Duration
+	StalenessMax time.Duration
+	// Idle-slot economy: slots with nothing dirty, the batched
+	// rebalance moves and opportunistic GC they absorbed, and what
+	// the GC paid (wire) and recovered (provider bytes).
+	IdleSlots        int
+	MovesPlanned     int
+	MovesExecuted    int
+	MovesDropped     int
+	GCRuns           int
+	GCReclaimedBytes int64
+	GCWireBytes      int64
+	Slots            []SweepSlot
 }
 
 // WireBytes is the total checkpoint wire across the pool.
@@ -175,6 +233,7 @@ func (c *Cluster) SweepReport() ClusterSweepReport {
 		RoundsSkipped: c.sweepRoundsSkipped,
 		Slots:         c.SweepSlots(),
 	}
+	rep.MovesPlanned = c.movesPlanned
 	var lats []time.Duration
 	for _, s := range c.slotLog {
 		if s.Paused {
@@ -186,14 +245,39 @@ func (c *Cluster) SweepReport() ClusterSweepReport {
 		rep.Saves += s.Record.Saves
 		rep.Skips += s.Record.Skipped
 		rep.Busy += s.Record.Busy
+		rep.Deferred += s.Record.Deferred
 		rep.Errors += s.Record.Errors
 		rep.UploadedBytes += s.Record.UploadedBytes
 		rep.LoginBytes += s.Record.LoginBytes
 		rep.BaselineBytes += s.Record.BaselineBytes
+		rep.NewChunks += s.Record.NewChunks
+		rep.TotalChunks += s.Record.TotalChunks
+		if s.Idle {
+			rep.IdleSlots++
+		}
+		rep.MovesExecuted += s.Moves
+		rep.MovesDropped += s.MovesDropped
+		rep.GCRuns += s.GCRuns
+		rep.GCReclaimedBytes += s.GCReclaimedBytes
+		rep.GCWireBytes += s.GCWireBytes
 		lats = append(lats, s.Record.Elapsed)
 	}
 	rep.LatencyP50 = fleet.LatencyPercentile(lats, 0.50)
 	rep.LatencyP95 = fleet.LatencyPercentile(lats, 0.95)
+	var stale []time.Duration
+	for _, h := range c.hosts {
+		stale = append(stale, h.orch.CheckpointStaleness()...)
+	}
+	for _, h := range c.retired {
+		stale = append(stale, h.orch.CheckpointStaleness()...)
+	}
+	rep.StalenessP50 = fleet.LatencyPercentile(stale, 0.50)
+	rep.StalenessP95 = fleet.LatencyPercentile(stale, 0.95)
+	for _, s := range stale {
+		if s > rep.StalenessMax {
+			rep.StalenessMax = s
+		}
+	}
 	return rep
 }
 
@@ -269,6 +353,15 @@ func (c *Cluster) sweepSlot(p *sim.Proc, cfg *SweepConfig, round, slot int, h *H
 		Stagger:     cfg.Stagger,
 		Concurrency: cfg.Concurrency,
 		SaveAll:     cfg.SaveAll,
+		Adaptive:    cfg.Adaptive,
+		RPO:         cfg.RPO,
+		RPOFor:      cfg.RPOFor,
+		// The cadence's deferral horizon: this host's next slot is one
+		// round out, two if the coordinator skips a round — plus one
+		// Interval of pass-duration allowance.
+		Interval:         cfg.Interval,
+		NextPassIn:       2 * cfg.Interval,
+		TargetDeltaBytes: cfg.TargetDeltaBytes,
 	})
 	if err != nil {
 		// The per-save failures are already in the host orchestrator's
@@ -277,10 +370,98 @@ func (c *Cluster) sweepSlot(p *sim.Proc, cfg *SweepConfig, round, slot int, h *H
 		// with a low save count.
 		c.sweepErrs = append(c.sweepErrs, fmt.Errorf("cluster: sweep slot %s round %d: %w", h.name, round, err))
 	}
-	c.sweepTokensHeld--
-	c.slotLog = append(c.slotLog, SweepSlot{
+	rec2 := SweepSlot{
 		Round: round, Slot: slot, Host: h.name,
-		Start: start, End: p.Now(), Record: rec,
-	})
+		Start: start, Record: rec,
+	}
+	// An idle slot — the host had nothing dirty enough to save and
+	// nothing failed — is a paid-for provider window (token held, wire
+	// quiet). Spend it on the work the cluster has been deferring:
+	// batched rebalance moves, then opportunistic vault GC.
+	if err == nil && rec.Saves == 0 && rec.Errors == 0 {
+		rec2.Idle = true
+		rec2.Moves, rec2.MovesDropped = c.drainPendingMoves(p)
+		if cfg.GC {
+			rec2.GCRuns, rec2.GCReclaimedBytes, rec2.GCWireBytes = c.opportunisticGC(p, cfg, h)
+		}
+	}
+	c.sweepTokensHeld--
+	rec2.End = p.Now()
+	c.slotLog = append(c.slotLog, rec2)
 	c.notify()
+}
+
+// drainPendingMoves executes up to MaxMovesPerPass rebalance moves the
+// planner batched for idle slots. Each move is re-validated at
+// execution time — the plan may be rounds old: the source must still
+// be hot (otherwise the pressure the move was priced against is gone)
+// and the destination still cold and admitting, else a fresh
+// destination is planned. Stale moves are dropped, not retried — the
+// rebalancer re-plans from live state on its next pass.
+func (c *Cluster) drainPendingMoves(p *sim.Proc) (executed, dropped int) {
+	for executed < c.cfg.Rebalance.MaxMovesPerPass && len(c.pendingMoves) > 0 {
+		mv := c.pendingMoves[0]
+		c.pendingMoves = c.pendingMoves[1:]
+		delete(c.moveQueued, mv.name)
+		src := c.placement[mv.name]
+		if src == nil || c.migrating[mv.name] || src.ReservedShare() <= c.cfg.Rebalance.HotShare {
+			dropped++
+			continue
+		}
+		m := src.orch.Member(mv.name)
+		if m == nil || !c.movable(m, nil) {
+			dropped++
+			continue
+		}
+		dst := c.Host(mv.dst)
+		if dst == nil || dst == src || !dst.placeable() ||
+			dst.ReservedShare() >= c.cfg.Rebalance.ColdShare || !dst.orch.CanAdmit(m.Footprint()) {
+			dst = c.coldDestination(src, m)
+		}
+		if dst == nil {
+			dropped++
+			continue
+		}
+		if _, err := c.MigrateNym(p, mv.name, dst.name); err != nil {
+			c.sweepErrs = append(c.sweepErrs, fmt.Errorf("cluster: batched move %s->%s: %w", mv.name, dst.name, err))
+			dropped++
+			continue
+		}
+		executed++
+	}
+	return executed, dropped
+}
+
+// opportunisticGC prunes dead vault chunks for up to GCPerSlot of the
+// host's members, rotating a per-host cursor so every member gets its
+// turn across idle slots. Members without a checkpoint are skipped
+// (nothing in the vault to prune — probing would buy an ErrNoManifest
+// with real wire), as are members mid-save or mid-migration (GC must
+// never race a manifest replace).
+func (c *Cluster) opportunisticGC(p *sim.Proc, cfg *SweepConfig, h *Host) (runs int, reclaimed, wire int64) {
+	members := h.orch.Members()
+	if len(members) == 0 {
+		return 0, 0, 0
+	}
+	start := c.gcCursor[h.name]
+	for scanned := 0; scanned < len(members) && runs < cfg.GCPerSlot; scanned++ {
+		m := members[(start+scanned)%len(members)]
+		c.gcCursor[h.name] = (start + scanned + 1) % len(members)
+		if m.Nym() == nil || m.Saving() || c.migrating[m.Name()] {
+			continue
+		}
+		if _, ok := m.Checkpoint(); !ok {
+			continue
+		}
+		dest := cfg.DestFor(m.Name())
+		stats, err := h.mgr.VaultGC(p, m.Nym(), cfg.Password, dest)
+		wire += stats.ManifestBytes + int64(len(dest.Providers))*cloud.LoginWireBytes
+		if err != nil {
+			c.sweepErrs = append(c.sweepErrs, fmt.Errorf("cluster: gc %s in idle slot: %w", m.Name(), err))
+			continue
+		}
+		runs++
+		reclaimed += stats.FreedBytes
+	}
+	return runs, reclaimed, wire
 }

@@ -336,6 +336,18 @@ func (n *Nym) DirtyState() DirtyState {
 // their last save already holds everything a restore would need.
 func (n *Nym) StateDirty() bool { return n.DirtyState().Dirty }
 
+// DirtyDiskTotal returns the cumulative writable-disk bytes churned
+// over both VMs' lifetimes — the raw vm.DirtyStats counters, NOT
+// reset by checkpoints. Successive snapshots of this total are what
+// the adaptive sweep cadence differentiates into a per-nym dirty
+// byte-rate: only disk churn prices checkpoint wire (RAM dirt marks
+// the nym dirty but never ships), so the rate deliberately excludes
+// RAMPages. The counters restart from zero when the nym is rebuilt
+// (crash-restore, migration); rate observers clamp negative deltas.
+func (n *Nym) DirtyDiskTotal() int64 {
+	return n.anonVM.DirtyStats().DiskBytes + n.commVM.DirtyStats().DiskBytes
+}
+
 // CheckpointGen returns the nym's checkpoint generation: how many
 // state checkpoints have been recorded over its lifetime. It is the
 // save-cycle counter (Cycles) under its scheduling-domain name — the

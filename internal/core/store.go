@@ -416,6 +416,51 @@ func (m *Manager) VaultGC(p *sim.Proc, n *Nym, password string, dest VaultDest) 
 	return m.vaultStore(n.name, dest.Placement).GC(p, password, sessions)
 }
 
+// MigrationCost is the priced wire a live migration of one nym would
+// put on the shared providers, read entirely from local state — no
+// provider round trip.
+type MigrationCost struct {
+	// RestoreBytes is what the destination's restore would download:
+	// the full chunk set the vault index believes the first reachable
+	// provider holds. Zero when the index is cold (a nym never saved
+	// or loaded through this manager) — callers should fall back to a
+	// footprint-derived guess rather than treating the move as free.
+	RestoreBytes int64
+	// DirtyBytes is the un-checkpointed disk churn a fresh source save
+	// would have to ship before the restore can begin — the true delta
+	// (pre-compression upper bound) between the nym and its vault.
+	DirtyBytes int64
+}
+
+// Wire is the candidate move's total priced wire.
+func (c MigrationCost) Wire() int64 { return c.RestoreBytes + c.DirtyBytes }
+
+// MigrationCost prices what migrating n through dest would actually
+// move over the wire, using the per-nym vault chunk index that delta
+// saves maintain. The cost-aware rebalancer ranks candidate victims
+// with this — a freshly-checkpointed nym with a warm index is nearly
+// free on the save side, while a churning nym pays its whole delta.
+func (m *Manager) MigrationCost(n *Nym, dest VaultDest) MigrationCost {
+	cost := MigrationCost{DirtyBytes: n.DirtyState().DiskBytes}
+	idx, ok := m.vaultIndexes[n.name]
+	if !ok {
+		return cost
+	}
+	// Under Replicate the restore is served by the first provider that
+	// answers; under Stripe every provider serves its partition — in
+	// both cases the union of per-provider known bytes bounds the
+	// download (replicas price the largest single holder).
+	for _, provider := range dest.Providers {
+		known := idx.KnownBytes(provider)
+		if dest.Placement == vault.Stripe && len(dest.Providers) > 1 {
+			cost.RestoreBytes += known
+		} else if known > cost.RestoreBytes {
+			cost.RestoreBytes = known
+		}
+	}
+	return cost
+}
+
 // LocalArchiveSize returns the stored wire size of a local archive.
 func (m *Manager) LocalArchiveSize(name string) (int64, bool) {
 	data, ok := m.localStore[archiveBlobName(name)]

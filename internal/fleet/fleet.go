@@ -227,6 +227,48 @@ type Member struct {
 	// pendingWire is the wire-rate reservation enqueued alongside
 	// pendingRes; nil for members with no idle wire footprint.
 	pendingWire *sim.Future[struct{}]
+	// cad is the member's adaptive sweep cadence state: the dirty
+	// byte-rate estimate and the staleness bookkeeping the scheduler
+	// reads to scale this member's next sweep eligibility.
+	cad cadence
+}
+
+// cadence tracks one member's observed churn for the adaptive sweep
+// scheduler. All fields are maintained at sweep-pass granularity —
+// the scheduler observes, it is never called back on mutation.
+type cadence struct {
+	seen     bool     // first observation taken
+	obsAt    sim.Time // when the cadence last observed the nym
+	obsBytes int64    // cumulative dirty-disk counter at that observation
+	rate     float64  // EWMA dirty-disk bytes per second
+	// cleanAt is the last instant the member was observed clean (or a
+	// checkpoint launched): the conservative lower bound on when its
+	// oldest unsaved mutation can have happened. Staleness is measured
+	// from here, and the RPO ceiling is enforced against it.
+	cleanAt  sim.Time
+	lastSave sim.Time // when the last checkpoint launched
+}
+
+// observe folds a new cumulative dirty-disk reading into the rate
+// estimate. An EWMA (half new, half history) smooths bursty rounds
+// without letting a formerly-hot member read hot forever; a negative
+// delta means the VM counters restarted (crash-restore) and resets
+// the baseline instead of poisoning the rate.
+func (c *cadence) observe(now sim.Time, total int64) {
+	if !c.seen {
+		c.seen, c.obsAt, c.obsBytes = true, now, total
+		return
+	}
+	dt := now - c.obsAt
+	if dt <= 0 {
+		return
+	}
+	delta := total - c.obsBytes
+	if delta < 0 {
+		delta = 0
+	}
+	c.rate = 0.5*c.rate + 0.5*float64(delta)/dt.Seconds()
+	c.obsAt, c.obsBytes = now, total
 }
 
 // Checkpoint is where (and under which password) a member's state was
@@ -269,6 +311,24 @@ func (m *Member) WireRate() int64 { return m.wireRate }
 
 // Priority returns the member's resolved admission class.
 func (m *Member) Priority() Priority { return m.pri }
+
+// Saving reports whether a vault checkpoint is currently in flight
+// for this member — claimed by a scheduled sweep, a caller-driven
+// SaveSweep, a migration's CheckpointNym, or a preemption eviction.
+// The cluster's opportunistic GC consults it: pruning a vault whose
+// manifest is about to be replaced would race the in-flight save.
+func (m *Member) Saving() bool { return m.saving != nil }
+
+// dirtySince is the conservative bound on when the member's oldest
+// unsaved mutation can have happened: the last instant it was
+// observed clean, falling back to its latest transition to Running
+// for a member never yet observed.
+func (m *Member) dirtySince() sim.Time {
+	if m.cad.cleanAt > 0 {
+		return m.cad.cleanAt
+	}
+	return m.runningAt
+}
 
 // Checkpoint returns the member's last recorded vault checkpoint.
 func (m *Member) Checkpoint() (Checkpoint, bool) {
@@ -323,6 +383,11 @@ type Orchestrator struct {
 	sweeping   int
 	sweepRecs  []SweepRecord
 	sweepErrs  []error
+	// sweepStale collects one checkpoint-staleness sample per
+	// successful save of a dirty member: how old the oldest unsaved
+	// mutation could have been when the save launched. The adaptive
+	// scheduler's contract is that no sample exceeds the member's RPO.
+	sweepStale []time.Duration
 
 	// failures is the classified failure history (codes.go): one record
 	// per member-scoped error surface, bucketed by code in the SLO

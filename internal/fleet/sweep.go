@@ -76,6 +76,37 @@ type SweepConfig struct {
 	// pressure defers checkpoints, it never cancels them, so a fleet
 	// pinned at capacity still checkpoints at MaxBackoff cadence.
 	MaxBackoff time.Duration
+	// Adaptive scales each member's sweep eligibility from its
+	// observed dirty byte-rate: a pass still considers every Running
+	// persistent member, but a dirty member whose churn has not yet
+	// accumulated a delta worth shipping is Deferred rather than
+	// saved. Hot members checkpoint every Interval; cold members
+	// stretch toward their RPO ceiling.
+	Adaptive bool
+	// RPO is the per-member checkpoint-staleness ceiling the adaptive
+	// cadence enforces (default 4x MaxBackoff): no dirty member is
+	// deferred past the point where its oldest unsaved mutation could
+	// be RPO old, provided passes keep starting within NextPassIn of
+	// each other and complete within one Interval. It is the
+	// per-member analogue of MaxBackoff's scheduler-wide saturation
+	// guarantee — and composes with it: the scheduler's own tick
+	// horizon (backoff included) is folded into NextPassIn, so the
+	// ceiling holds through pressure episodes, not just calm ones.
+	RPO time.Duration
+	// RPOFor overrides the staleness ceiling per member (nil or a
+	// non-positive return: the member uses RPO).
+	RPOFor func(*Member) time.Duration
+	// TargetDeltaBytes is the dirty disk delta one save should
+	// amortize (default 256 KiB): the adaptive cadence stretches a
+	// member's interval until its observed rate would accumulate this
+	// much, and a member already holding this much dirt saves now.
+	TargetDeltaBytes int64
+	// NextPassIn is the caller's expected time until the next pass
+	// over this fleet (default MaxBackoff — the scheduler's own
+	// worst-case re-arm). The adaptive cadence never defers a member
+	// whose RPO deadline falls inside this horizon: deferral is only
+	// legal when a later pass can still honor the ceiling.
+	NextPassIn time.Duration
 }
 
 func (c *SweepConfig) fillDefaults(base Config) {
@@ -91,6 +122,15 @@ func (c *SweepConfig) fillDefaults(base Config) {
 	if c.MaxBackoff <= 0 {
 		c.MaxBackoff = 4 * c.Interval
 	}
+	if c.RPO <= 0 {
+		c.RPO = 4 * c.MaxBackoff
+	}
+	if c.TargetDeltaBytes <= 0 {
+		c.TargetDeltaBytes = 256 << 10
+	}
+	if c.NextPassIn <= 0 {
+		c.NextPassIn = c.MaxBackoff
+	}
 }
 
 // SweepRecord is the telemetry of one scheduled sweep pass (or one
@@ -104,6 +144,7 @@ type SweepRecord struct {
 	Eligible  int // Running persistent members considered
 	Saves     int // checkpoints performed
 	Skipped   int // clean members skipped (the dirty-skip win)
+	Deferred  int // dirty members whose adaptive cadence was not yet due
 	Busy      int // members already mid-save, left alone
 	Errors    int // failed checkpoints
 	// UploadedBytes is vault wire actually shipped; LoginBytes is the
@@ -138,6 +179,7 @@ type SweepReport struct {
 	Eligible int
 	Saves    int
 	Skips    int
+	Deferred int // adaptive-cadence deferrals (dirty, not yet due)
 	Busy     int
 	Errors   int
 	// UploadedBytes/LoginBytes/BaselineBytes sum the per-pass figures.
@@ -145,11 +187,21 @@ type SweepReport struct {
 	LoginBytes    int64
 	BaselineBytes int64
 	NewChunks     int
+	// TotalChunks sums each saved checkpoint's full manifest chunk
+	// count — the dedup denominator NewChunks is read against.
+	TotalChunks int
 	// LatencyP50/P95 are nearest-rank percentiles over completed
 	// passes' Elapsed times.
 	LatencyP50 time.Duration
 	LatencyP95 time.Duration
-	Records    []SweepRecord
+	// StalenessP50/P95/Max are nearest-rank percentiles over the
+	// per-save checkpoint-staleness samples (see CheckpointStaleness):
+	// how old each saved member's oldest unsaved mutation could have
+	// been when its save launched.
+	StalenessP50 time.Duration
+	StalenessP95 time.Duration
+	StalenessMax time.Duration
+	Records      []SweepRecord
 }
 
 // WireBytes is the total checkpoint wire across all passes.
@@ -178,17 +230,34 @@ func (o *Orchestrator) SweepReport() SweepReport {
 		rep.Eligible += rec.Eligible
 		rep.Saves += rec.Saves
 		rep.Skips += rec.Skipped
+		rep.Deferred += rec.Deferred
 		rep.Busy += rec.Busy
 		rep.Errors += rec.Errors
 		rep.UploadedBytes += rec.UploadedBytes
 		rep.LoginBytes += rec.LoginBytes
 		rep.BaselineBytes += rec.BaselineBytes
 		rep.NewChunks += rec.NewChunks
+		rep.TotalChunks += rec.TotalChunks
 		lats = append(lats, rec.Elapsed)
 	}
 	rep.LatencyP50 = LatencyPercentile(lats, 0.50)
 	rep.LatencyP95 = LatencyPercentile(lats, 0.95)
+	rep.StalenessP50 = LatencyPercentile(o.sweepStale, 0.50)
+	rep.StalenessP95 = LatencyPercentile(o.sweepStale, 0.95)
+	for _, s := range o.sweepStale {
+		if s > rep.StalenessMax {
+			rep.StalenessMax = s
+		}
+	}
 	return rep
+}
+
+// CheckpointStaleness returns the per-save staleness samples behind
+// the report's percentiles, in save-launch order. The cluster
+// coordinator pools these across hosts so its staleness percentiles
+// weigh every save equally rather than averaging per-host quantiles.
+func (o *Orchestrator) CheckpointStaleness() []time.Duration {
+	return append([]time.Duration(nil), o.sweepStale...)
 }
 
 // SweepErrors returns every error a recorded sweep pass produced, in
@@ -304,9 +373,18 @@ func (o *Orchestrator) sweepTick() {
 	// and a StopSweeps+AwaitSweepsIdle at the same timestamp would
 	// otherwise see zero in flight and let StopAll race the escaped
 	// pass's saves.
+	// The adaptive cadence may only defer a member when a later pass
+	// can still honor its RPO. The next pass is NOT simply one
+	// sweepDelay away: if pressure arrives right after this (calm)
+	// pass, the following ticks back off — Interval, 2x, 4x, ... up
+	// to MaxBackoff — before a pass is forced at saturation. That
+	// chain sums to under twice MaxBackoff, so that is the horizon
+	// the cadence must assume.
+	run := *cfg
+	run.NextPassIn = 2 * cfg.MaxBackoff
 	o.sweeping++
 	o.eng.Go("fleet/sweep", func(p *sim.Proc) {
-		o.SweepOnce(p, *cfg)
+		o.SweepOnce(p, run)
 		o.sweeping--
 		o.notify()
 		// Re-arm only if THIS scheduler installation is still the live
@@ -338,6 +416,54 @@ func (o *Orchestrator) SweepOnce(p *sim.Proc, cfg SweepConfig) (SweepRecord, err
 	return rec, err
 }
 
+// cadenceDefers decides whether the adaptive cadence holds a dirty
+// member back from this pass. The member saves now when any of:
+//
+//   - it has no baseline checkpoint yet (nothing to restore from, so
+//     there is no cadence to stretch);
+//   - its RPO deadline falls within NextPassIn plus one Interval —
+//     this pass is the last one guaranteed to honor the ceiling (the
+//     extra Interval absorbs the in-pass delay before a later pass
+//     reaches this member: schedulers re-arm only after a pass
+//     completes, so the true inter-visit gap is NextPassIn plus the
+//     pass's own elapsed time);
+//   - its accumulated dirty disk already amortizes a save
+//     (>= TargetDeltaBytes);
+//   - its observed byte-rate says TargetDeltaBytes accumulates in
+//     less than the time already waited (clamped to [Interval, RPO]).
+//
+// Otherwise the member is deferred: its delta is not yet worth a
+// login and a manifest, and a later pass can still meet its RPO.
+func (o *Orchestrator) cadenceDefers(m *Member, cfg SweepConfig, now sim.Time) bool {
+	m.cad.observe(now, m.nym.DirtyDiskTotal())
+	if m.cad.lastSave == 0 && m.cad.cleanAt == 0 {
+		return false
+	}
+	rpo := cfg.RPO
+	if cfg.RPOFor != nil {
+		if r := cfg.RPOFor(m); r > 0 {
+			rpo = r
+		}
+	}
+	since := m.dirtySince()
+	if now+cfg.NextPassIn+cfg.Interval >= since+rpo {
+		return false
+	}
+	if m.nym.DirtyState().DiskBytes >= cfg.TargetDeltaBytes {
+		return false
+	}
+	desired := rpo
+	if m.cad.rate > 0 {
+		if d := time.Duration(float64(cfg.TargetDeltaBytes) / m.cad.rate * float64(time.Second)); d < desired {
+			desired = d
+		}
+	}
+	if desired < cfg.Interval {
+		desired = cfg.Interval
+	}
+	return now < since+desired
+}
+
 // runSweep is the shared sweep engine under SaveSweep (SaveAll, the
 // caller-driven full checkpoint) and SweepOnce (the scheduler's
 // dirty-skipping pass).
@@ -350,6 +476,9 @@ func (o *Orchestrator) runSweep(p *sim.Proc, cfg SweepConfig) (SweepRecord, erro
 	var saved []*Member
 	var dests []core.VaultDest
 	var claims []*saveClaim
+	var stales []time.Duration // per-launch staleness; recorded on success
+	var cleanAts []sim.Time    // pre-launch cleanAt; restored on failure
+	var launchAts []sim.Time   // when each save launched
 	first := true
 	for _, m := range o.Members() {
 		if m.state != StateRunning || m.nym == nil || m.nym.Model() != core.ModelPersistent {
@@ -363,8 +492,18 @@ func (o *Orchestrator) runSweep(p *sim.Proc, cfg SweepConfig) (SweepRecord, erro
 			rec.Busy++
 			continue
 		}
-		if !cfg.SaveAll && !m.nym.StateDirty() {
+		dirty := m.nym.StateDirty()
+		if !cfg.SaveAll && !dirty {
+			// A clean observation re-anchors the staleness clock and
+			// feeds the rate estimator a zero-delta round, so an idle
+			// member's rate decays instead of reading hot forever.
 			rec.Skipped++
+			m.cad.observe(p.Now(), m.nym.DirtyDiskTotal())
+			m.cad.cleanAt = p.Now()
+			continue
+		}
+		if cfg.Adaptive && !cfg.SaveAll && o.cadenceDefers(m, cfg, p.Now()) {
+			rec.Deferred++
 			continue
 		}
 		if !first {
@@ -382,6 +521,20 @@ func (o *Orchestrator) runSweep(p *sim.Proc, cfg SweepConfig) (SweepRecord, erro
 			rec.Busy++
 			continue
 		}
+		// Sample staleness at launch: the checkpoint about to ship
+		// captures everything up to now, so its staleness is the age
+		// of the oldest mutation it could have been waiting on. Clean
+		// members swept under SaveAll contribute no sample — nothing
+		// was at risk.
+		stale := time.Duration(-1)
+		if dirty {
+			stale = p.Now() - m.dirtySince()
+		}
+		cleanAts = append(cleanAts, m.cad.cleanAt)
+		stales = append(stales, stale)
+		launchAts = append(launchAts, p.Now())
+		m.cad.cleanAt = p.Now()
+		m.cad.lastSave = p.Now()
 		dest := cfg.DestFor(m)
 		claim := &saveClaim{}
 		m.saving = claim
@@ -414,9 +567,18 @@ func (o *Orchestrator) runSweep(p *sim.Proc, cfg SweepConfig) (SweepRecord, erro
 			werr := fmt.Errorf("fleet: save %q: %w", res.Nym, err)
 			errs = append(errs, werr)
 			o.recordFailure(res.Nym, "sweep", werr)
+			// The checkpoint never landed, so the member's dirt is as
+			// old as it was: put the staleness clock back unless some
+			// later save of this member already moved it.
+			if saved[i].cad.cleanAt == launchAts[i] {
+				saved[i].cad.cleanAt = cleanAts[i]
+			}
 			continue
 		}
 		rec.Saves++
+		if stales[i] >= 0 {
+			o.sweepStale = append(o.sweepStale, stales[i])
+		}
 		rec.UploadedBytes += res.Stats.UploadedBytes
 		rec.BaselineBytes += res.Stats.BaselineWireBytes
 		rec.NewChunks += res.Stats.NewChunks

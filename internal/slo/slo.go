@@ -76,6 +76,19 @@ type Report struct {
 	// stale a checkpoint is allowed to get under backoff pressure.
 	StalenessP50 time.Duration
 	StalenessMax time.Duration
+	// Adaptive checkpoint economy: members the churn-adaptive cadence
+	// postponed, and per-save member staleness (how old each saved
+	// member's oldest unsaved mutation could have been when its save
+	// launched — sample-pooled across hosts, unlike the pass-gap
+	// staleness above).
+	SweepDeferred      int
+	MemberStalenessP50 time.Duration
+	MemberStalenessP95 time.Duration
+	MemberStalenessMax time.Duration
+	// Opportunistic VaultGC spend and recovery (cluster reports only).
+	GCRuns           int
+	GCReclaimedBytes int64
+	GCWireBytes      int64
 
 	// Checkpoint wire budgets: bytes actually shipped vs what
 	// monolithic re-uploads would have cost, plus migration traffic.
@@ -110,6 +123,7 @@ func FromFleet(o *fleet.Orchestrator) Report {
 	b.addMembers("", o.Members(), nil)
 	b.addFailures("", o.Failures())
 	b.addSweeps(o.SweepReport())
+	b.stale = append(b.stale, o.CheckpointStaleness()...)
 	b.r.Preempted = o.Preemptions()
 	b.r.WireReservedRate = o.WireReservedRate()
 	b.r.WireBudgetRate = o.WireBudgetRate()
@@ -146,7 +160,13 @@ func FromCluster(c *cluster.Cluster) Report {
 		b.addMembers(h.Name(), h.Fleet().Members(), c.LaunchedAt)
 		b.addFailures(h.Name(), h.Fleet().Failures())
 		b.addSweeps(h.Fleet().SweepReport())
+		b.stale = append(b.stale, h.Fleet().CheckpointStaleness()...)
 	}
+	crep := c.SweepReport()
+	b.r.GCRuns = crep.GCRuns
+	b.r.GCReclaimedBytes = crep.GCReclaimedBytes
+	b.r.GCWireBytes = crep.GCWireBytes
+	b.r.CheckpointWireBytes += crep.GCWireBytes
 	b.r.SweepErrors += len(c.SweepErrors())
 	return b.finish()
 }
@@ -157,6 +177,7 @@ type builder struct {
 	r         Report
 	ramps     []time.Duration
 	sweepLats []time.Duration
+	stale     []time.Duration
 	passAts   []sim.Time
 	eligible  int
 	skips     int
@@ -223,6 +244,7 @@ func (b *builder) addSweeps(rep fleet.SweepReport) {
 	b.r.Sweeps += rep.Sweeps
 	b.r.SweepBackoffs += rep.Backoffs
 	b.r.SweepErrors += rep.Errors
+	b.r.SweepDeferred += rep.Deferred
 	b.eligible += rep.Eligible
 	b.skips += rep.Skips
 	b.r.CheckpointWireBytes += rep.WireBytes()
@@ -260,6 +282,13 @@ func (b *builder) finish() Report {
 	for _, g := range gaps {
 		if g > r.StalenessMax {
 			r.StalenessMax = g
+		}
+	}
+	r.MemberStalenessP50 = fleet.LatencyPercentile(b.stale, 0.50)
+	r.MemberStalenessP95 = fleet.LatencyPercentile(b.stale, 0.95)
+	for _, s := range b.stale {
+		if s > r.MemberStalenessMax {
+			r.MemberStalenessMax = s
 		}
 	}
 	if hours := r.At.Hours(); hours > 0 {
@@ -304,10 +333,18 @@ func (r Report) Render() string {
 		r.RampP50, r.RampP95, r.RampMax)
 	fmt.Fprintf(&b, "  restarts:    %d (%.2f/h)   preemptions: %d (%.2f/h)   migrations: %d (%.2f/h)\n",
 		r.Restarts, r.RestartRate, r.Preempted.Total(), r.PreemptionRate, r.Migrations, r.MigrationRate)
-	fmt.Fprintf(&b, "  sweeps:      %d passes, %d backoffs, %d errors, dirty-skip %.0f%%\n",
-		r.Sweeps, r.SweepBackoffs, r.SweepErrors, 100*r.DirtySkipRatio)
+	fmt.Fprintf(&b, "  sweeps:      %d passes, %d backoffs, %d errors, %d deferred, dirty-skip %.0f%%\n",
+		r.Sweeps, r.SweepBackoffs, r.SweepErrors, r.SweepDeferred, 100*r.DirtySkipRatio)
 	fmt.Fprintf(&b, "  sweep lat:   p50 %v  p95 %v   staleness p50 %v  max %v\n",
 		r.SweepLatencyP50, r.SweepLatencyP95, r.StalenessP50, r.StalenessMax)
+	if r.MemberStalenessMax > 0 {
+		fmt.Fprintf(&b, "  ckpt stale:  p50 %v  p95 %v  max %v per saved member\n",
+			r.MemberStalenessP50, r.MemberStalenessP95, r.MemberStalenessMax)
+	}
+	if r.GCRuns > 0 {
+		fmt.Fprintf(&b, "  vault gc:    %d runs, %s reclaimed for %s of probe wire\n",
+			r.GCRuns, fmtBytes(r.GCReclaimedBytes), fmtBytes(r.GCWireBytes))
+	}
 	fmt.Fprintf(&b, "  ckpt wire:   %s shipped vs %s baseline (%.0f%% saved)   migration wire: %s\n",
 		fmtBytes(r.CheckpointWireBytes), fmtBytes(r.CheckpointBaselineBytes),
 		100*r.WireSavings(), fmtBytes(r.MigrationWireBytes))

@@ -185,31 +185,35 @@ func (ks keys) chunkNonce(addr Addr, n int) []byte {
 }
 
 // Index is the per-nym local cache of which chunk addresses each
-// provider is known to hold. It lets a delta save decide what to
-// upload without a provider round trip; a cold index falls back to
-// the provider's own metadata listing.
+// provider is known to hold, and at what wire size. It lets a delta
+// save decide what to upload without a provider round trip (a cold
+// index falls back to the provider's own metadata listing), and lets
+// the cluster rebalancer price a migration — KnownBytes is the wire a
+// destination restore would pull from that provider — without
+// touching the providers at all.
 type Index struct {
-	present map[string]map[Addr]bool
+	present map[string]map[Addr]int64
 }
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
-	return &Index{present: make(map[string]map[Addr]bool)}
+	return &Index{present: make(map[string]map[Addr]int64)}
 }
 
 // Has reports whether the provider is known to hold addr.
 func (ix *Index) Has(provider string, a Addr) bool {
-	return ix.present[provider][a]
+	_, ok := ix.present[provider][a]
+	return ok
 }
 
-// Add records that the provider holds addr.
-func (ix *Index) Add(provider string, a Addr) {
+// Add records that the provider holds addr at the given wire size.
+func (ix *Index) Add(provider string, a Addr, wireSize int64) {
 	set, ok := ix.present[provider]
 	if !ok {
-		set = make(map[Addr]bool)
+		set = make(map[Addr]int64)
 		ix.present[provider] = set
 	}
-	set[a] = true
+	set[a] = wireSize
 }
 
 // Forget drops addr from the provider's set (after GC deletes it).
@@ -227,6 +231,17 @@ func (ix *Index) Drop(provider string) { delete(ix.present, provider) }
 
 // Known returns how many chunks the index believes the provider holds.
 func (ix *Index) Known(provider string) int { return len(ix.present[provider]) }
+
+// KnownBytes returns the total wire size of the chunks the index
+// believes the provider holds — what a restore served entirely by that
+// provider would download, before the manifest and batch framing.
+func (ix *Index) KnownBytes(provider string) int64 {
+	var total int64
+	for _, size := range ix.present[provider] {
+		total += size
+	}
+	return total
+}
 
 // Store is a vault bound to one nym. Sessions are supplied per
 // operation (each save or restore logs in through the nym's own
@@ -463,7 +478,7 @@ func (v *Store) Save(p *sim.Proc, st *nymstate.State, password string, sessions 
 			}
 			name := v.chunkBlobName(r.Addr)
 			if sess.Has(name) {
-				v.index.Add(provider, r.Addr)
+				v.index.Add(provider, r.Addr, r.WireSize)
 				continue
 			}
 			blob := cloud.Blob{WireSize: r.WireSize}
@@ -489,7 +504,7 @@ func (v *Store) Save(p *sim.Proc, st *nymstate.State, password string, sessions 
 		provider := sess.Provider().Name()
 		for _, r := range c.refs {
 			if _, ok := batch[v.chunkBlobName(r.Addr)]; ok {
-				v.index.Add(provider, r.Addr)
+				v.index.Add(provider, r.Addr, r.WireSize)
 			}
 		}
 	}
@@ -682,7 +697,7 @@ func (v *Store) Load(p *sim.Proc, password string, sessions []*cloud.Session) (*
 	for si, idxs := range served {
 		provider := sessions[si].Provider().Name()
 		for _, ci := range idxs {
-			v.index.Add(provider, man.Chunks[ci].Addr)
+			v.index.Add(provider, man.Chunks[ci].Addr, man.Chunks[ci].WireSize)
 		}
 	}
 	return st, stats, nil
@@ -761,6 +776,10 @@ type GCStats struct {
 	Scanned    int   // chunk blobs examined across providers
 	Deleted    int   // unreferenced chunk blobs removed
 	FreedBytes int64 // wire bytes reclaimed
+	// ManifestBytes is the wire downloaded probing providers for the
+	// latest manifest — the pass's own wire cost (the opportunistic GC
+	// scheduler budgets it against idle sweep slots).
+	ManifestBytes int64
 }
 
 // GC removes chunks no longer referenced by the latest manifest from
@@ -771,15 +790,15 @@ func (v *Store) GC(p *sim.Proc, password string, sessions []*cloud.Session) (GCS
 	if len(sessions) == 0 {
 		return GCStats{}, ErrNoSessions
 	}
-	man, _, err := v.latestManifest(p, password, sessions)
+	man, manWire, err := v.latestManifest(p, password, sessions)
 	if err != nil {
-		return GCStats{}, err
+		return GCStats{ManifestBytes: manWire}, err
 	}
 	live := make(map[string]bool, len(man.Chunks))
 	for _, r := range man.Chunks {
 		live[v.chunkBlobName(r.Addr)] = true
 	}
-	var stats GCStats
+	stats := GCStats{ManifestBytes: manWire}
 	for _, sess := range sessions {
 		provider := sess.Provider().Name()
 		for _, name := range sess.List() {
